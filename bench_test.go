@@ -1,0 +1,449 @@
+package confvalley
+
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (§6). Each benchmark exercises the code path behind one artifact at a
+// test-friendly scale; cmd/cvbench runs the same experiments and prints
+// the paper-style rows (add -full for paper-scale corpora). See
+// EXPERIMENTS.md for the experiment index and paper-vs-measured values.
+
+import (
+	"io"
+	"testing"
+
+	"confvalley/internal/azuregen"
+	"confvalley/internal/compiler"
+	"confvalley/internal/config"
+	"confvalley/internal/cpl/parser"
+	"confvalley/internal/driver"
+	"confvalley/internal/engine"
+	"confvalley/internal/experiments"
+	"confvalley/internal/infer"
+	"confvalley/internal/legacy"
+	"confvalley/internal/simenv"
+	"confvalley/specs"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.Quick(io.Discard)
+	cfg.ScaleA = 0.05
+	cfg.ScaleB = 0.002
+	return cfg
+}
+
+// BenchmarkTable2DriverParsing stands behind Table 2: the drivers whose
+// sizes the table reports, parsing a Type A snapshot in each format.
+func BenchmarkTable2DriverParsing(b *testing.B) {
+	corpus := azuregen.GenerateA(0.05, 2015)
+	inputs := []struct {
+		format string
+		data   []byte
+	}{
+		{"xml", azuregen.RenderXML(corpus.Store)},
+		{"kv", azuregen.RenderKV(corpus.Store)},
+		{"ini", azuregen.RenderINI(corpus.Store)},
+	}
+	for _, in := range inputs {
+		b.Run(in.format, func(b *testing.B) {
+			b.SetBytes(int64(len(in.data)))
+			for i := 0; i < b.N; i++ {
+				st := config.NewStore()
+				if _, err := driver.LoadInto(st, in.format, in.data, "bench", ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3RewriteAzure stands behind Table 3: the CPL suites
+// versus their imperative counterparts, on the same data. The interesting
+// number besides LoC (reported by cvbench) is that the declarative form
+// costs no more to run.
+func BenchmarkTable3RewriteAzure(b *testing.B) {
+	st := config.NewStore()
+	azuregen.AddExpertSubstrate(st, 40, 2015)
+	env := azuregen.ExpertEnv()
+	prog, err := compiler.Compile(specs.AzureTypeA())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cpl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.Engine{Store: st, Env: env}
+			if rep := eng.Run(prog); !rep.Passed() {
+				b.Fatal("unexpected violations")
+			}
+		}
+	})
+	b.Run("imperative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if errs := legacy.ValidateTypeA(st, env); len(errs.Violations) != 0 {
+				b.Fatal("unexpected violations")
+			}
+		}
+	})
+}
+
+// BenchmarkTable4RewriteOpenSource stands behind Table 4.
+func BenchmarkTable4RewriteOpenSource(b *testing.B) {
+	osStore := config.NewStore()
+	if _, err := driver.LoadInto(osStore, "yaml", specs.OpenStackConfig(), "o.yaml", ""); err != nil {
+		b.Fatal(err)
+	}
+	prog, err := compiler.Compile(specs.OpenStack())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("openstack-cpl", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.Engine{Store: osStore, Env: simenv.NewSim()}
+			eng.Run(prog)
+		}
+	})
+	b.Run("openstack-imperative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			legacy.ValidateOpenStack(osStore)
+		}
+	})
+}
+
+// BenchmarkTable5Inference stands behind Table 5: constraint mining over
+// each corpus type.
+func BenchmarkTable5Inference(b *testing.B) {
+	corpora := map[string]*azuregen.Corpus{
+		"TypeA": azuregen.GenerateA(0.05, 2015),
+		"TypeB": azuregen.GenerateB(0.002, 2015),
+		"TypeC": azuregen.GenerateC(1.0, 2015),
+	}
+	for name, c := range corpora {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := infer.Infer(c.Store, infer.Defaults())
+				if len(res.Constraints) == 0 {
+					b.Fatal("inference found nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure5Histogram stands behind Figure 5.
+func BenchmarkFigure5Histogram(b *testing.B) {
+	c := azuregen.GenerateA(0.05, 2015)
+	res := infer.Infer(c.Store, infer.Defaults())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := res.Histogram(4)
+		if len(h) != 5 {
+			b.Fatal("bad histogram")
+		}
+	}
+}
+
+// BenchmarkTable6ExpertValidation stands behind Table 6: the expert suite
+// over an error-injected branch.
+func BenchmarkTable6ExpertValidation(b *testing.B) {
+	st := config.NewStore()
+	azuregen.AddExpertSubstrate(st, 40, 2015)
+	azuregen.InjectExpertErrors(st, 40, 4, 77)
+	env := azuregen.ExpertEnv()
+	prog, err := compiler.Compile(specs.AzureTypeA())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.Engine{Store: st, Env: env}
+		rep := eng.Run(prog)
+		if rep.Passed() {
+			b.Fatal("injected errors not caught")
+		}
+	}
+}
+
+// BenchmarkTable7InferredValidation stands behind Table 7: inferred
+// specifications over an error-injected branch.
+func BenchmarkTable7InferredValidation(b *testing.B) {
+	good, branches := azuregen.GenerateBranches(0.05, 2015, []azuregen.BranchSetup{
+		{Name: "Trunk", ExpertErrors: 0, TrueInferred: 5, BenignDrifts: 2},
+	})
+	res := infer.Infer(good.Store, infer.Defaults())
+	prog, err := compiler.Compile(res.GenerateCPL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := branches[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.Engine{Store: br.Store, Env: azuregen.ExpertEnv()}
+		rep := eng.Run(prog)
+		if rep.Passed() {
+			b.Fatal("injected errors not caught")
+		}
+	}
+}
+
+// BenchmarkTable8Validation stands behind Table 8: sequential versus
+// partitioned validation.
+func BenchmarkTable8Validation(b *testing.B) {
+	c := azuregen.GenerateA(0.05, 2015)
+	res := infer.Infer(c.Store, infer.Defaults())
+	prog, err := compiler.Compile(res.GenerateCPL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.Engine{Store: c.Store, Env: simenv.NewSim()}
+			eng.Run(prog)
+		}
+	})
+	b.Run("parallel10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.Engine{Store: c.Store, Env: simenv.NewSim(), Opts: engine.Options{Parallel: 10}}
+			eng.Run(prog)
+		}
+	})
+}
+
+// BenchmarkTable9Inference stands behind Table 9: parse-to-unified versus
+// mining time.
+func BenchmarkTable9Inference(b *testing.B) {
+	data := azuregen.RenderKV(azuregen.GenerateB(0.002, 2015).Store)
+	b.Run("parsing", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			st := config.NewStore()
+			if _, err := driver.LoadInto(st, "kv", data, "b.kv", ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	st := config.NewStore()
+	if _, err := driver.LoadInto(st, "kv", data, "b.kv", ""); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("inference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			infer.Infer(st, infer.Defaults())
+		}
+	})
+}
+
+// BenchmarkFigure4Optimizations stands behind the Figure 4 ablation:
+// validating the redundant one-constraint-per-statement suite with and
+// without the compiler rewrites.
+func BenchmarkFigure4Optimizations(b *testing.B) {
+	c := azuregen.GenerateA(0.05, 2015)
+	res := infer.Infer(c.Store, infer.Defaults())
+	src := res.GenerateVerboseCPL()
+	raw, err := compiler.CompileWith(src, compiler.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt, err := compiler.CompileWith(src, compiler.Options{Optimize: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("unoptimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.Engine{Store: c.Store, Env: simenv.NewSim()}
+			eng.Run(raw)
+		}
+	})
+	b.Run("optimized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.Engine{Store: c.Store, Env: simenv.NewSim()}
+			eng.Run(opt)
+		}
+	})
+}
+
+// BenchmarkDiscoveryNaiveVsTrie stands behind the §5.2 discovery
+// optimization claim (5x–40x).
+func BenchmarkDiscoveryNaiveVsTrie(b *testing.B) {
+	c := azuregen.GenerateA(0.05, 2015)
+	pats := []config.Pattern{
+		config.P("Cluster", "Fabric", "*"),
+		config.P("*Timeout*"),
+		config.P("Cluster::east1-c000", "Fabric", "*"),
+	}
+	b.Run("trie+cache", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range pats {
+				c.Store.Discover(p)
+			}
+		}
+	})
+	b.Run("trie-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Store.InvalidateCache()
+			for _, p := range pats {
+				c.Store.Discover(p)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range pats {
+				c.Store.DiscoverNaive(p)
+			}
+		}
+	})
+}
+
+// BenchmarkCompartmentVsCartesian measures compartment-scoped pairing,
+// the design choice DESIGN.md calls out for ablation.
+func BenchmarkCompartmentVsCartesian(b *testing.B) {
+	st := config.NewStore()
+	azuregen.AddExpertSubstrate(st, 40, 2015)
+	comp, err := compiler.Compile("compartment Cluster { $VipStart <= $VipEnd }")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compartment", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.Engine{Store: st, Env: simenv.NewSim()}
+			if rep := eng.Run(comp); !rep.Passed() {
+				b.Fatal("clean substrate flagged")
+			}
+		}
+	})
+}
+
+// BenchmarkCPLParser measures the hand-rolled front end.
+func BenchmarkCPLParser(b *testing.B) {
+	src := specs.AzureTypeA() + specs.AzureTypeB() + specs.OpenStack()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndSession measures the full public-API flow the
+// quickstart example takes.
+func BenchmarkEndToEndSession(b *testing.B) {
+	data := azuregen.RenderINI(azuregen.GenerateC(1.0, 2015).Store)
+	for i := 0; i < b.N; i++ {
+		s := NewSession()
+		if _, err := s.LoadData("ini", data, "c.ini", ""); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := s.Validate(specs.AzureTypeC())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passed() {
+			b.Fatal("clean corpus flagged")
+		}
+	}
+}
+
+// TestExperimentsSmoke runs every cvbench experiment once at reduced
+// scale, asserting the qualitative shapes the paper reports.
+func TestExperimentsSmoke(t *testing.T) {
+	cfg := benchConfig()
+
+	t3 := experiments.Table3(cfg)
+	for _, r := range t3 {
+		if r.CPLLoC*3 > r.OrigLoC {
+			t.Errorf("Table 3 %s: CPL %d vs orig %d — expected ≥3x reduction", r.Name, r.CPLLoC, r.OrigLoC)
+		}
+		if r.Inferable <= 0 || r.Inferable > r.SpecCount {
+			t.Errorf("Table 3 %s: inferable %d of %d", r.Name, r.Inferable, r.SpecCount)
+		}
+	}
+	t4 := experiments.Table4(cfg)
+	for _, r := range t4 {
+		if r.CPLLoC*3 > r.OrigLoC {
+			t.Errorf("Table 4 %s: CPL %d vs orig %d", r.Name, r.CPLLoC, r.OrigLoC)
+		}
+	}
+
+	t5 := experiments.Table5(cfg)
+	if len(t5) != 3 || t5[0].Total == 0 {
+		t.Fatalf("Table 5 rows = %+v", t5)
+	}
+
+	h := experiments.Figure5(cfg)
+	sum := 0
+	for _, n := range h {
+		sum += n
+	}
+	if sum == 0 || h[0] == 0 {
+		t.Errorf("Figure 5 histogram = %v", h)
+	}
+
+	// The branch experiment needs enough classes per archetype to host
+	// all injections; use the standard quick scale (0.1) rather than the
+	// benchmark scale.
+	t6, t7 := experiments.BranchExperiment(experiments.Quick(io.Discard))
+	wantT6 := []int{4, 2, 2}
+	wantT7 := []int{12, 15, 16}
+	wantFP := []int{3, 5, 3}
+	for i := range t6 {
+		if t6[i].Reported != wantT6[i] || t6[i].FalsePositives != 0 {
+			t.Errorf("Table 6 %s: reported %d (want %d), FP %d (want 0)",
+				t6[i].Branch, t6[i].Reported, wantT6[i], t6[i].FalsePositives)
+		}
+		if t7[i].Reported != wantT7[i] || t7[i].FalsePositives != wantFP[i] {
+			t.Errorf("Table 7 %s: reported %d (want %d), FP %d (want %d)",
+				t7[i].Branch, t7[i].Reported, wantT7[i], t7[i].FalsePositives, wantFP[i])
+		}
+		if t7[i].Unattributed != 0 {
+			t.Errorf("Table 7 %s: %d unattributed violations", t7[i].Branch, t7[i].Unattributed)
+		}
+	}
+
+	t8 := experiments.Table8(cfg)
+	if len(t8) != 3 {
+		t.Fatalf("Table 8 rows = %d", len(t8))
+	}
+	for _, r := range t8 {
+		// P10 max should not exceed sequential by more than scheduling
+		// noise (tiny workloads jitter on loaded machines).
+		if r.P10Max > r.Sequential*2 {
+			t.Errorf("Table 8 %s: P10 max %v exceeds sequential %v", r.Name, r.P10Max, r.Sequential)
+		}
+	}
+
+	t9 := experiments.Table9(cfg)
+	for _, r := range t9 {
+		if r.Parsing < r.Inference/20 {
+			t.Errorf("Table 9 %s: parsing %v implausibly small vs inference %v", r.Name, r.Parsing, r.Inference)
+		}
+	}
+
+	f4 := experiments.Figure4(cfg)
+	if f4.SpecsOptimized >= f4.SpecsRaw {
+		t.Errorf("Figure 4: optimization did not reduce specs (%d vs %d)", f4.SpecsOptimized, f4.SpecsRaw)
+	}
+	if f4.QueriesOptimized > f4.QueriesRaw {
+		t.Errorf("Figure 4: optimization increased queries (%d vs %d)", f4.QueriesOptimized, f4.QueriesRaw)
+	}
+
+	acc := experiments.InferenceAccuracy(experiments.Quick(io.Discard))
+	if p := acc.Precision(); p < 0.80 || p > 0.99 {
+		t.Errorf("inference precision = %.2f; want the paper's imperfect-but-high band", p)
+	}
+	if acc.ByKind["Range"][1] == 0 && acc.ByKind["Uniqueness"][1] == 0 {
+		t.Error("trap archetypes produced no inaccuracies; the §6.3 experiment is vacuous")
+	}
+
+	d := experiments.Discovery(cfg)
+	if d.Speedup < 2 {
+		t.Errorf("discovery speedup = %.1fx, want ≥2x (paper: 5x–40x)", d.Speedup)
+	}
+
+	t2 := experiments.Table2(cfg)
+	if len(t2) < 6 {
+		t.Errorf("Table 2 rows = %d", len(t2))
+	}
+	for _, r := range t2 {
+		if r.LoC < 10 {
+			t.Errorf("Table 2 %s: %d LoC implausible", r.Format, r.LoC)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Command cvcheck is ConfValley's batch validator: it loads configuration
+// sources, compiles a CPL specification file, and reports violations —
+// the main usage scenario of §5.1.
+//
+// Usage:
+//
+//	cvcheck -spec checks.cpl [-data xml:/path/settings.xml[:Scope]]...
+//	        [-parallel N] [-stop] [-json] [-watch 2s]
+//
+// Data sources may also come from load commands inside the specification
+// file. With -watch, cvcheck revalidates whenever the specification or a
+// data file changes — the continuous-validation scenario of §5.1. The
+// exit status is 0 when validation passes, 1 on violations, and 2 on
+// usage or compilation errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"confvalley"
+)
+
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+func (d *dataFlags) Set(s string) error {
+	*d = append(*d, s)
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		specPath = flag.String("spec", "", "CPL specification file (required)")
+		parallel = flag.Int("parallel", 1, "validate specifications in N parallel partitions")
+		stop     = flag.Bool("stop", false, "stop at the first violation")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+		watch    = flag.Duration("watch", 0, "revalidate at this interval when spec or data files change (0 = run once)")
+		rounds   = flag.Int("watch-rounds", 0, "with -watch, exit after this many validation rounds (0 = forever; for tests)")
+		data     dataFlags
+	)
+	flag.Var(&data, "data", "configuration source as format:path[:scope]; repeatable")
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "cvcheck: -spec is required")
+		flag.Usage()
+		return 2
+	}
+
+	validateOnce := func() int {
+		s := confvalley.NewSession()
+		s.Parallel = *parallel
+		s.StopOnFirst = *stop
+		s.SpecDir = filepath.Dir(*specPath)
+		s.SetEnv(confvalley.HostEnv())
+
+		for _, d := range data {
+			format, path, scope, err := splitDataArg(d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+				return 2
+			}
+			n, err := s.LoadFile(format, path, scope)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "cvcheck: loaded %d instance(s) from %s\n", n, path)
+		}
+
+		src, err := os.ReadFile(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+			return 2
+		}
+		rep, err := s.Validate(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+			return 2
+		}
+		if *asJSON {
+			b, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+				return 2
+			}
+			fmt.Println(string(b))
+		} else if err := rep.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+			return 2
+		}
+		if rep.Passed() {
+			return 0
+		}
+		return 1
+	}
+
+	if *watch <= 0 {
+		return validateOnce()
+	}
+	return watchLoop(*specPath, data, *watch, *rounds, validateOnce)
+}
+
+// watchLoop revalidates whenever the specification file or any data file
+// changes, polling modification times at the given interval. maxRounds
+// bounds the number of validation rounds (0 = unbounded); the exit code
+// is the last round's.
+func watchLoop(specPath string, data []string, interval time.Duration, maxRounds int, validate func() int) int {
+	files := []string{specPath}
+	for _, d := range data {
+		if _, path, _, err := splitDataArg(d); err == nil {
+			files = append(files, path)
+		}
+	}
+	stamp := func() string {
+		var b strings.Builder
+		for _, f := range files {
+			if info, err := os.Stat(f); err == nil {
+				fmt.Fprintf(&b, "%s=%d/%d;", f, info.ModTime().UnixNano(), info.Size())
+			} else {
+				fmt.Fprintf(&b, "%s=gone;", f)
+			}
+		}
+		return b.String()
+	}
+
+	last := ""
+	code := 0
+	for round := 0; ; {
+		now := stamp()
+		if now != last {
+			last = now
+			round++
+			fmt.Fprintf(os.Stderr, "cvcheck: validation round %d\n", round)
+			code = validate()
+			if maxRounds > 0 && round >= maxRounds {
+				return code
+			}
+		}
+		time.Sleep(interval)
+	}
+}
+
+// splitDataArg parses format:path[:scope]. Paths may contain colons on
+// Windows-style shares, so the format is taken from the first colon and
+// the scope from the last only when it looks like a scope (no slashes).
+func splitDataArg(arg string) (format, path, scope string, err error) {
+	i := strings.IndexByte(arg, ':')
+	if i <= 0 {
+		return "", "", "", fmt.Errorf("bad -data %q; want format:path[:scope]", arg)
+	}
+	format, rest := arg[:i], arg[i+1:]
+	if j := strings.LastIndexByte(rest, ':'); j > 0 {
+		tail := rest[j+1:]
+		if tail != "" && !strings.ContainsAny(tail, `/\.`) {
+			return format, rest[:j], tail, nil
+		}
+	}
+	return format, rest, "", nil
+}

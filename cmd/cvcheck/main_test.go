@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestSplitDataArg(t *testing.T) {
+	cases := []struct {
+		in                  string
+		format, path, scope string
+		ok                  bool
+	}{
+		{"xml:/etc/settings.xml", "xml", "/etc/settings.xml", "", true},
+		{"ini:/etc/app.ini:Fabric", "ini", "/etc/app.ini", "Fabric", true},
+		{"kv:rel/path.kv", "kv", "rel/path.kv", "", true},
+		{`xml:C:\conf\a.xml`, "xml", `C:\conf\a.xml`, "", true},               // drive colon is not a scope
+		{"json:/a/b.json:Scope.Sub", "json", "/a/b.json:Scope.Sub", "", true}, // dotted tail looks like a path
+		{"nocolon", "", "", "", false},
+		{":path", "", "", "", false},
+	}
+	for _, c := range cases {
+		format, path, scope, err := splitDataArg(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("splitDataArg(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if format != c.format || path != c.path || scope != c.scope {
+			t.Errorf("splitDataArg(%q) = %q,%q,%q; want %q,%q,%q",
+				c.in, format, path, scope, c.format, c.path, c.scope)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWatchLoopRevalidatesOnChange(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "s.cpl")
+	data := filepath.Join(dir, "d.kv")
+	if err := os.WriteFile(spec, []byte("$A -> int"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(data, []byte("A = 1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int32
+	done := make(chan int, 1)
+	go func() {
+		done <- watchLoop(spec, []string{"kv:" + data}, 5*time.Millisecond, 2, func() int {
+			runs.Add(1)
+			return 0
+		})
+	}()
+	// First round fires immediately; the second after a data change.
+	deadline := time.After(2 * time.Second)
+	for runs.Load() < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("first round never ran")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := os.WriteFile(data, []byte("A = 2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit code = %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch loop did not finish after second round")
+	}
+	if runs.Load() != 2 {
+		t.Errorf("rounds = %d, want 2", runs.Load())
+	}
+}
+
+func TestWatchLoopStableFilesRunOnce(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "s.cpl")
+	if err := os.WriteFile(spec, []byte("$A -> int"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int32
+	go watchLoop(spec, nil, 2*time.Millisecond, 0, func() int {
+		runs.Add(1)
+		return 0
+	})
+	time.Sleep(60 * time.Millisecond)
+	if got := runs.Load(); got != 1 {
+		t.Errorf("unchanged files revalidated %d times, want 1", got)
+	}
+}

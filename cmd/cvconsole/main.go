@@ -1,0 +1,98 @@
+// Command cvconsole is ConfValley's interactive validation console
+// (§5.1's second usage scenario): operators load production configuration
+// data and validate one-liner specifications on the fly.
+//
+// Commands:
+//
+//	load '<format>' '<path>' [as Scope]   load a configuration source
+//	get $<notation>                       list matching instances
+//	infer                                 print inferred specifications
+//	<any CPL specification>               validate it immediately
+//	:quit                                 exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"confvalley"
+)
+
+func main() {
+	s := confvalley.NewSession()
+	s.SetEnv(confvalley.HostEnv())
+	fmt.Println("ConfValley console — type a CPL specification, 'get $Key', 'infer', or :quit")
+	repl(s, os.Stdin, os.Stdout)
+}
+
+// repl runs the console loop; split out for testing.
+func repl(s *confvalley.Session, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Fprint(out, "cpl> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "//"):
+			continue
+		case line == ":quit" || line == ":q" || line == "exit":
+			return
+		case line == ":help" || line == "help":
+			fmt.Fprint(out, `commands:
+  load '<format>' '<path>' [as Scope]   load a configuration source
+  get $<notation>                       list matching instances
+  infer                                 print inferred specifications
+  <any CPL specification>               validate it immediately
+  :quit                                 exit
+`)
+			continue
+		case line == "infer":
+			fmt.Fprint(out, s.InferCPL())
+			continue
+		case strings.HasPrefix(line, "get "):
+			notation := strings.TrimSpace(strings.TrimPrefix(line, "get "))
+			notation = strings.TrimPrefix(notation, "$")
+			ins, err := s.Instances(notation)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+			for _, in := range ins {
+				fmt.Fprintf(out, "  %s\n", in)
+			}
+			fmt.Fprintf(out, "%d instance(s)\n", len(ins))
+			continue
+		case strings.HasPrefix(line, "load "):
+			rep, err := s.Validate(line) // load commands run through Validate
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+			_ = rep
+			fmt.Fprintf(out, "loaded; store now holds %d instance(s)\n", s.Store().Len())
+			continue
+		}
+		rep, err := s.Check(line)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			continue
+		}
+		if rep.Passed() {
+			fmt.Fprintf(out, "PASS (%d instance check(s))\n", rep.InstancesChecked)
+			continue
+		}
+		for _, v := range rep.Violations {
+			fmt.Fprintf(out, "FAIL %s = %q: %s\n", v.Key, v.Value, v.Message)
+		}
+		for _, e := range rep.SpecErrors {
+			fmt.Fprintf(out, "spec error: %s\n", e)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"confvalley"
+)
+
+func runConsole(t *testing.T, s *confvalley.Session, input string) string {
+	t.Helper()
+	var out bytes.Buffer
+	repl(s, strings.NewReader(input), &out)
+	return out.String()
+}
+
+func TestConsolePassAndFail(t *testing.T) {
+	s := confvalley.NewSession()
+	if _, err := s.LoadData("kv", []byte("Fabric.Timeout = 30"), "k", ""); err != nil {
+		t.Fatal(err)
+	}
+	out := runConsole(t, s, `
+$Fabric.Timeout -> int
+$Fabric.Timeout -> bool
+:quit
+`)
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("missing PASS:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL Fabric.Timeout") {
+		t.Errorf("missing FAIL:\n%s", out)
+	}
+}
+
+func TestConsoleGetAndInfer(t *testing.T) {
+	s := confvalley.NewSession()
+	for i := 0; i < 12; i++ {
+		if _, err := s.LoadData("kv", []byte("Node::n"+string(rune('a'+i))+".Port = 808"+string(rune('0'+i%10))), "k", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := runConsole(t, s, "get $Node.Port\ninfer\nexit\n")
+	if !strings.Contains(out, "12 instance(s)") {
+		t.Errorf("get output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "$Node.Port ->") {
+		t.Errorf("infer output wrong:\n%s", out)
+	}
+}
+
+func TestConsoleErrorsAndComments(t *testing.T) {
+	s := confvalley.NewSession()
+	out := runConsole(t, s, "// a comment\n$ -> int\n:q\n")
+	if !strings.Contains(out, "error:") {
+		t.Errorf("parse error not surfaced:\n%s", out)
+	}
+}
+
+func TestConsoleLoad(t *testing.T) {
+	s := confvalley.NewSession()
+	s.RegisterSource("mem", []byte("A = 1"))
+	out := runConsole(t, s, "load 'kv' 'mem'\n$A -> int\n:q\n")
+	if !strings.Contains(out, "store now holds 1 instance(s)") {
+		t.Errorf("load output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("validation after load failed:\n%s", out)
+	}
+}
+
+func TestConsoleHelp(t *testing.T) {
+	s := confvalley.NewSession()
+	out := runConsole(t, s, ":help\n:q\n")
+	if !strings.Contains(out, "load '<format>'") || !strings.Contains(out, "infer") {
+		t.Errorf("help output:\n%s", out)
+	}
+}

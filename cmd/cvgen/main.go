@@ -1,0 +1,78 @@
+// Command cvgen generates the synthetic Azure-like configuration corpora
+// described in DESIGN.md (the Type A/B/C data sets of §6), serialized in
+// their native formats, so the other tools have realistic inputs.
+//
+// Usage:
+//
+//	cvgen -type A|B|C [-scale 0.1] [-seed 42] [-out file]
+//	cvgen -type expert [-clusters 40] [-errors N] [-out file]
+//
+// Type A renders as XML, Type B as flat key-value, Type C as INI; the
+// expert corpus renders as key-value with optional injected errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"confvalley/internal/azuregen"
+	"confvalley/internal/config"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		typ      = flag.String("type", "A", "corpus type: A, B, C, or expert")
+		scale    = flag.Float64("scale", 0.1, "fraction of the paper-scale corpus")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+		clusters = flag.Int("clusters", 40, "expert corpus: cluster count")
+		errors   = flag.Int("errors", 0, "expert corpus: expert errors to inject")
+	)
+	flag.Parse()
+
+	var data []byte
+	switch *typ {
+	case "A", "a":
+		c := azuregen.GenerateA(*scale, *seed)
+		fmt.Fprintf(os.Stderr, "cvgen: Type A — %d classes, %d instances\n", c.Classes, c.Instances)
+		data = azuregen.RenderXML(c.Store)
+	case "B", "b":
+		c := azuregen.GenerateB(*scale, *seed)
+		fmt.Fprintf(os.Stderr, "cvgen: Type B — %d classes, %d instances\n", c.Classes, c.Instances)
+		data = azuregen.RenderKV(c.Store)
+	case "C", "c":
+		c := azuregen.GenerateC(*scale, *seed)
+		fmt.Fprintf(os.Stderr, "cvgen: Type C — %d classes, %d instances\n", c.Classes, c.Instances)
+		data = azuregen.RenderINI(c.Store)
+	case "expert":
+		st := config.NewStore()
+		azuregen.AddExpertSubstrate(st, *clusters, *seed)
+		if *errors > 0 {
+			inj := azuregen.InjectExpertErrors(st, *clusters, *errors, *seed+1)
+			for _, i := range inj {
+				fmt.Fprintf(os.Stderr, "cvgen: injected %s at %s\n", i.Kind, i.Key)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "cvgen: expert substrate — %d clusters, %d instances\n", *clusters, st.Len())
+		data = azuregen.RenderKV(st)
+	default:
+		fmt.Fprintf(os.Stderr, "cvgen: unknown -type %q\n", *typ)
+		return 2
+	}
+
+	if *out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "cvgen: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "cvgen: wrote %d bytes to %s\n", len(data), *out)
+	return 0
+}

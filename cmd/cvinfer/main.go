@@ -1,0 +1,84 @@
+// Command cvinfer runs ConfValley's inference engine over known-good
+// configuration data and emits the mined CPL specifications (§4.5).
+//
+// Usage:
+//
+//	cvinfer [-data format:path[:scope]]... [-out specs.cpl] [-stats]
+//
+// With -stats, a Table 5-style per-category summary is printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"confvalley"
+)
+
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+func (d *dataFlags) Set(s string) error {
+	*d = append(*d, s)
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out   = flag.String("out", "", "write generated CPL here (default stdout)")
+		stats = flag.Bool("stats", false, "print a per-category constraint summary")
+		data  dataFlags
+	)
+	flag.Var(&data, "data", "configuration source as format:path[:scope]; repeatable")
+	flag.Parse()
+	if len(data) == 0 {
+		fmt.Fprintln(os.Stderr, "cvinfer: at least one -data source is required")
+		flag.Usage()
+		return 2
+	}
+
+	s := confvalley.NewSession()
+	for _, d := range data {
+		parts := strings.SplitN(d, ":", 3)
+		if len(parts) < 2 {
+			fmt.Fprintf(os.Stderr, "cvinfer: bad -data %q; want format:path[:scope]\n", d)
+			return 2
+		}
+		scope := ""
+		if len(parts) == 3 {
+			scope = parts[2]
+		}
+		n, err := s.LoadFile(parts[0], parts[1], scope)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cvinfer: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "cvinfer: loaded %d instance(s) from %s\n", n, parts[1])
+	}
+
+	res := s.Infer(confvalley.DefaultInferenceOptions())
+	if *stats {
+		fmt.Fprintf(os.Stderr, "cvinfer: %d classes, %d instances analyzed in %v\n",
+			res.ClassesAnalyzed, res.InstancesAnalyzed, res.InferTime)
+		for cat, n := range res.CountByKind() {
+			fmt.Fprintf(os.Stderr, "  %-12s %d\n", cat, n)
+		}
+	}
+	cpl := res.GenerateCPL()
+	if *out == "" {
+		fmt.Print(cpl)
+		return 0
+	}
+	if err := os.WriteFile(*out, []byte(cpl), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "cvinfer: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "cvinfer: wrote %d constraint(s) to %s\n", len(res.Constraints), *out)
+	return 0
+}

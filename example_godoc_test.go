@@ -1,0 +1,90 @@
+package confvalley_test
+
+import (
+	"fmt"
+	"log"
+
+	"confvalley"
+)
+
+// The minimal workflow: load configuration data, validate CPL
+// specifications, inspect the report.
+func Example() {
+	s := confvalley.NewSession()
+	if _, err := s.LoadData("ini", []byte(`
+[Frontend]
+port = 8080
+timeout = 200
+`), "app.ini", ""); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := s.Validate(`
+$Frontend.port -> port
+$Frontend.timeout -> int & [1, 120]
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("%s = %q: %s\n", v.Key, v.Value, v.Message)
+	}
+	// Output:
+	// Frontend.timeout = "200": value "200" is out of range [1, 120]
+}
+
+// Compartments isolate each scope instance: the proxy address must lie in
+// its own cluster's range, not in any cluster's range.
+func ExampleSession_Validate_compartment() {
+	s := confvalley.NewSession()
+	if _, err := s.LoadData("kv", []byte(`
+Cluster::east.StartIP = 10.1.0.1
+Cluster::east.EndIP   = 10.1.0.99
+Cluster::east.ProxyIP = 10.1.0.50
+Cluster::west.StartIP = 10.2.0.1
+Cluster::west.EndIP   = 10.2.0.99
+Cluster::west.ProxyIP = 10.1.0.50
+`), "clusters.kv", ""); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := s.Validate("compartment Cluster { $ProxyIP -> [$StartIP, $EndIP] }")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		fmt.Println(v.Key)
+	}
+	// Output:
+	// Cluster::west.ProxyIP
+}
+
+// The inference engine mines specifications from known-good data.
+func ExampleSession_InferCPL() {
+	s := confvalley.NewSession()
+	data := ""
+	for i := 0; i < 30; i++ {
+		data += fmt.Sprintf("Node[%d].HeartbeatSeconds = %d\n", i+1, 20+i%5)
+	}
+	if _, err := s.LoadData("kv", []byte(data), "nodes.kv", ""); err != nil {
+		log.Fatal(err)
+	}
+	res := s.Infer(confvalley.DefaultInferenceOptions())
+	for _, c := range res.PerClass["Node.HeartbeatSeconds"] {
+		fmt.Println(c.CPL)
+	}
+	// Values 20–24 all fit the port range, the most specific numeric type.
+	// Output:
+	// port
+	// nonempty
+	// [20, 24]
+}
+
+// CheckSyntax gives editors instant feedback without touching data.
+func ExampleSession_CheckSyntax() {
+	s := confvalley.NewSession()
+	fmt.Println(s.CheckSyntax("$X -> int & [1, 5]"))
+	err := s.CheckSyntax("$X -> nosuchpredicate")
+	fmt.Println(err != nil)
+	// Output:
+	// <nil>
+	// true
+}

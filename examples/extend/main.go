@@ -1,0 +1,93 @@
+// Extension example (§4.2.6 of the paper): CPL grows through plug-ins,
+// not compiler changes. This program registers a custom predicate
+// ("gitsha": the value is a 40-character commit hash) and a custom
+// map-like transformation ("hostpart": strip the port from host:port),
+// then uses both from specifications immediately.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"confvalley"
+)
+
+func init() {
+	confvalley.RegisterPredicate(&confvalley.PredicateFunc{
+		Name:  "gitsha",
+		Arity: 0,
+		Check: func(_ confvalley.Env, _ []confvalley.Value, v confvalley.Value) (bool, error) {
+			if v.IsList() || len(v.Raw) != 40 {
+				return false, nil
+			}
+			for i := 0; i < len(v.Raw); i++ {
+				c := v.Raw[i]
+				if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+					return false, nil
+				}
+			}
+			return true, nil
+		},
+	})
+	confvalley.RegisterTransform(&confvalley.TransformFunc{
+		Name:        "hostpart",
+		Style:       confvalley.TransformMap,
+		Arity:       0,
+		ScalarInput: true,
+		Apply: func(_ []confvalley.Value, in confvalley.Value) (confvalley.Value, error) {
+			s := in.Raw
+			for i := len(s) - 1; i >= 0; i-- {
+				if s[i] == ':' {
+					out := confvalley.ScalarValue(s[:i])
+					out.Inst = in.Inst
+					return out, nil
+				}
+			}
+			return in, nil
+		},
+	})
+}
+
+const deployConfig = `
+Deploy.BuildCommit = 6dcd4ce23d88e2ee9568ba546c007c63d9131c1b
+Deploy.Registry = registry.example.net:5000
+Deploy.Canary = canary.example.net:5001
+`
+
+const checks = `
+// The deployed build is pinned to an exact commit.
+$Deploy.BuildCommit -> gitsha
+  message 'BuildCommit must be a full 40-character commit hash'
+
+// Registry endpoints resolve to internal hostnames once the port is
+// stripped by the plug-in transformation.
+$Deploy.Registry -> hostpart() -> hostname & endswith('.example.net')
+$Deploy.Canary -> hostpart() -> hostname
+`
+
+func main() {
+	s := confvalley.NewSession()
+	if _, err := s.LoadData("kv", []byte(deployConfig), "deploy.kv", ""); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := s.Validate(checks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean deployment config: %d violation(s)\n", len(rep.Violations))
+
+	// A truncated hash is caught by the plug-in predicate.
+	s2 := confvalley.NewSession()
+	if _, err := s2.LoadData("kv", []byte("Deploy.BuildCommit = 6dcd4ce"), "deploy.kv", ""); err != nil {
+		log.Fatal(err)
+	}
+	rep, err = s2.Validate(checks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter a bad edit:")
+	if err := rep.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Policy example: validation policies (§4.3) control how a validation
+// run behaves — violation severities, custom error messages (§4.4),
+// priority ordering so specifications over critical parameters run
+// first, and the stop-on-first-violation mode used in pre-commit hooks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"confvalley"
+)
+
+const settings = `
+Fabric.ControllerReplicas = 1
+Fabric.HeartbeatTimeout = 5
+Cache.Size = 512MB
+Cache.Evictions = lru
+Logging.Verbosity = 11
+`
+
+const checks = `
+// Critical fabric parameters validate first.
+policy priority 'Fabric.*'
+
+policy severity 'critical'
+$Fabric.ControllerReplicas -> int & [3, 9]
+  message 'running fewer than 3 controller replicas forfeits quorum'
+$Fabric.HeartbeatTimeout -> int & [1, 60]
+
+policy severity 'warning'
+$Cache.Size -> size
+$Cache.Evictions -> {'lru', 'lfu', 'arc'}
+$Logging.Verbosity -> int & [0, 9]
+`
+
+func main() {
+	s := confvalley.NewSession()
+	if _, err := s.LoadData("kv", []byte(settings), "settings.kv", ""); err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := s.Validate(checks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("continue-on-violation run:")
+	for _, v := range rep.Violations {
+		fmt.Printf("  [%s] %s\n", v.Severity, v.Message)
+	}
+
+	// Pre-commit style: abort at the first (highest-priority) violation.
+	s.StopOnFirst = true
+	rep, err = s.Validate(checks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstop-on-first run: %d violation(s), stopped=%v\n", len(rep.Violations), rep.Stopped)
+	if len(rep.Violations) > 0 {
+		fmt.Printf("  first failure: [%s] %s\n", rep.Violations[0].Severity, rep.Violations[0].Message)
+	}
+	if !rep.Passed() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: load a small INI configuration and validate a handful of
+// CPL specifications against it — the minimal ConfValley workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"confvalley"
+)
+
+const appConfig = `
+# service configuration
+[Frontend]
+listen_port = 8080
+timeout = 30
+backends = 10.0.0.5,10.0.0.6,10.0.0.7
+
+[Backend]
+listen_port = 9090
+timeout = 45
+data_dir = /var/lib/app
+`
+
+const checks = `
+// Ports are valid and don't collide between components.
+$listen_port -> port & unique
+
+// Timeouts are sane.
+$timeout -> int & [1, 120]
+
+// The backend pool is a nonempty list of IP addresses.
+$Frontend.backends -> list(ip) & nonempty
+
+// The data directory is an absolute path that exists on this host.
+$Backend.data_dir -> path & exists
+`
+
+func main() {
+	s := confvalley.NewSession()
+	if _, err := s.LoadData("ini", []byte(appConfig), "app.ini", ""); err != nil {
+		log.Fatal(err)
+	}
+	// Use a simulated filesystem so the example is hermetic; swap in
+	// confvalley.HostEnv() to check the real machine.
+	env := confvalley.NewSimEnv()
+	env.AddPath("/var/lib/app")
+	s.SetEnv(env)
+
+	rep, err := s.Validate(checks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if rep.Passed() {
+		fmt.Println("\nconfiguration is valid ✔")
+		return
+	}
+	os.Exit(1)
+}

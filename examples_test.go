@@ -1,0 +1,48 @@
+package confvalley
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end through the real `go
+// run` toolchain — the repository's smoke test that the documented entry
+// points actually work.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples need the go toolchain; skipped in -short mode")
+	}
+	cases := []struct {
+		dir      string
+		wantOut  []string
+		wantFail bool // examples that demonstrate catching errors exit 1
+	}{
+		{dir: "./examples/quickstart", wantOut: []string{"configuration is valid"}},
+		{dir: "./examples/crossvalidate", wantOut: []string{"all cross-source constraints hold"}},
+		{dir: "./examples/openstack", wantOut: []string{"changeme", "out of range"}},
+		{dir: "./examples/azure", wantOut: []string{"expert suite on clean snapshot: 0 violation(s)", "inference:"}},
+		{dir: "./examples/policy", wantOut: []string{"forfeits quorum", "stopped=true"}, wantFail: true},
+		{dir: "./examples/extend", wantOut: []string{"clean deployment config: 0 violation(s)", "40-character commit hash"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", c.dir)
+			out, err := cmd.CombinedOutput()
+			if c.wantFail {
+				if err == nil {
+					t.Errorf("%s: expected nonzero exit", c.dir)
+				}
+			} else if err != nil {
+				t.Fatalf("%s: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.wantOut {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module confvalley
+
+go 1.22

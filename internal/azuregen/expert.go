@@ -1,0 +1,275 @@
+package azuregen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"confvalley/internal/config"
+	"confvalley/internal/simenv"
+)
+
+// The expert substrate models the relational configuration structure the
+// paper's expert-written specifications validate (§6.4, Table 6): cluster
+// VIP ranges containing load-balancer VIP ranges, per-rack blade
+// identifiers, MAC/IP range cardinalities, SSL/endpoint coupling, and
+// primary/backup separation. Black-box inference cannot mine these
+// cross-parameter constraints, which is exactly why experts write them.
+
+// AddExpertSubstrate populates relational per-cluster configuration in a
+// store. Deterministic for a seed; returns the cluster count.
+func AddExpertSubstrate(st *config.Store, nClusters int, seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	for c := 0; c < nClusters; c++ {
+		cl := fmt.Sprintf("exp-c%03d", c)
+		base := c % 250
+		add := func(segs []config.Seg, v string) {
+			st.Add(&config.Instance{Key: config.Key{Segs: segs}, Value: v, Source: "azure-expert.xml"})
+		}
+		seg := func(parts ...config.Seg) []config.Seg { return parts }
+		cluster := config.Seg{Name: "Cluster", Inst: cl, Index: c + 1}
+
+		// Cluster-wide VIP range.
+		add(seg(cluster, config.Seg{Name: "VipStart"}), fmt.Sprintf("10.%d.0.1", base))
+		add(seg(cluster, config.Seg{Name: "VipEnd"}), fmt.Sprintf("10.%d.3.250", base))
+		// Two load-balancer sets, each with VIP ranges inside the
+		// cluster range.
+		for l := 0; l < 2; l++ {
+			lo := fmt.Sprintf("10.%d.%d.10", base, l)
+			hi := fmt.Sprintf("10.%d.%d.99", base, l)
+			add(seg(cluster, config.Seg{Name: "LoadBalancerSet", Inst: fmt.Sprintf("lbs%d", l), Index: l + 1},
+				config.Seg{Name: "VipRanges"}), lo+"-"+hi)
+			add(seg(cluster, config.Seg{Name: "LoadBalancerSet", Inst: fmt.Sprintf("lbs%d", l), Index: l + 1},
+				config.Seg{Name: "Device"}), fmt.Sprintf("slb-%s-%d", cl, l))
+		}
+		// Racks of blades with per-rack-unique blade IDs.
+		for rk := 0; rk < 2; rk++ {
+			rack := config.Seg{Name: "Rack", Inst: fmt.Sprintf("r%d", rk), Index: rk + 1}
+			for b := 0; b < 4; b++ {
+				add(seg(cluster, rack, config.Seg{Name: "Blade", Inst: fmt.Sprintf("b%d", b), Index: b + 1},
+					config.Seg{Name: "BladeID"}), fmt.Sprintf("%d", b+1))
+			}
+		}
+		// MAC range and IP range with matching cardinalities.
+		n := 2 + r.Intn(3)
+		macs, ips := "", ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				macs += ";"
+				ips += ";"
+			}
+			macs += fmt.Sprintf("00:1d:%02x:%02x:00:%02x", base%256, i, c%256)
+			ips += fmt.Sprintf("10.%d.9.%d", base, i+1)
+		}
+		add(seg(cluster, config.Seg{Name: "MacRange"}), macs)
+		add(seg(cluster, config.Seg{Name: "IpRange"}), ips)
+		// Proxy endpoint, HTTPS because SSL is enabled everywhere.
+		add(seg(cluster, config.Seg{Name: "Proxy"}, config.Seg{Name: "SSL"}), "true")
+		add(seg(cluster, config.Seg{Name: "Proxy"}, config.Seg{Name: "Endpoint"}),
+			fmt.Sprintf("https://proxy-%s.example.net:443", cl))
+		// Distinct primary and backup addresses for the redundant pair.
+		add(seg(cluster, config.Seg{Name: "PrimaryIP"}), fmt.Sprintf("10.%d.200.1", base))
+		add(seg(cluster, config.Seg{Name: "BackupIP"}), fmt.Sprintf("10.%d.200.2", base))
+		// Controller replica count: odd, in [3, 9].
+		add(seg(cluster, config.Seg{Name: "ControllerReplicas"}), []string{"3", "5", "7"}[r.Intn(3)])
+		// OS build image, identical fleet-wide and present on the share.
+		add(seg(cluster, config.Seg{Name: "OSBuildPath"}), ExpertOSBuildPath)
+		// Security token service: endpoint set and HTTPS while enabled.
+		add(seg(cluster, config.Seg{Name: "TokenService"}, config.Seg{Name: "Enabled"}), "true")
+		add(seg(cluster, config.Seg{Name: "TokenService"}, config.Seg{Name: "Endpoint"}),
+			fmt.Sprintf("https://sts-%s.example.net/token", cl))
+	}
+	return nClusters
+}
+
+// ExpertOSBuildPath is the fleet-wide OS image path in the substrate; the
+// validation environment must contain it for the "exists" check.
+const ExpertOSBuildPath = `\\cfgshare\builds\os\current\image.vhd`
+
+// ExpertEnv returns a simulated environment satisfying the substrate's
+// dynamic predicates (path existence).
+func ExpertEnv() *simenv.Sim {
+	env := simenv.NewSim()
+	env.AddPath(ExpertOSBuildPath)
+	return env
+}
+
+// ExpertSpecs is the expert-written CPL suite over the substrate, the
+// analogue of the manually-crafted specifications of §6.4. The canonical
+// copy lives in specs/azure_type_a.cpl; this constant mirrors it for
+// in-package tests. The reported Table 6 errors ("VIP range of a load
+// balancer set is not contained in VIP range of its cluster", "bad
+// BladeID", "inconsistent number of addresses in MAC range and IP range")
+// correspond one-to-one.
+const ExpertSpecs = `
+// Expert-written validation for the cluster substrate (17 specifications).
+
+compartment Cluster {
+  // Every load-balancer VIP range lies inside the cluster VIP range
+  // (guarded: malformed bounds are reported by the well-formedness
+  // checks below, not as cascading containment failures).
+  if (exists $VipStart -> ip) { if (exists $VipEnd -> ip) {
+    $LoadBalancerSet.VipRanges -> split(';') -> split('-') -> nonempty & ip & [$VipStart, $VipEnd]
+  } }
+
+  // MAC range and IP range carry the same number of addresses.
+  count(split($MacRange, ';')) == count(split($IpRange, ';'))
+
+  // Proxy endpoints must be HTTPS when SSL is enabled.
+  if (exists $Proxy.SSL == 'true') $Proxy.Endpoint -> startswith('https://')
+
+  // The redundant pair must not collapse onto one address.
+  $PrimaryIP != $BackupIP
+
+  // Ranges are properly ordered.
+  $VipStart <= $VipEnd
+
+  // Token service endpoints stay HTTPS while the service is enabled.
+  if (exists $TokenService.Enabled == 'true') $TokenService.Endpoint -> startswith('https://')
+}
+
+// Blade identifiers: integers in [1, 48], unique within their rack.
+$Cluster.Rack.Blade.BladeID -> nonempty & int & [1, 48]
+compartment Cluster.Rack {
+  $Blade.BladeID -> unique
+}
+
+// Addresses are well-formed.
+$Cluster.VipStart -> ip & nonempty
+$Cluster.VipEnd -> ip & nonempty
+$Cluster.PrimaryIP -> ip & nonempty
+$Cluster.BackupIP -> ip & nonempty
+
+// Replica counts stay in the supported window.
+$Cluster.ControllerReplicas -> nonempty & int & [3, 9]
+
+// Every load balancer set names a device.
+$Cluster.LoadBalancerSet.Device -> nonempty & unique
+
+// The OS image is the same fleet-wide and present on the build share.
+$Cluster.OSBuildPath -> path & exists
+$Cluster.OSBuildPath -> consistent
+
+// Token service endpoints are well-formed URLs.
+$Cluster.TokenService.Endpoint -> url & nonempty
+`
+
+// Injection records one deliberate corruption of a branch and whether the
+// paper's methodology counts it as a true error or a benign drift (the
+// source of inferred-spec false positives, §6.4).
+type Injection struct {
+	Key         string // instance key mutated
+	OldValue    string
+	NewValue    string
+	Kind        string // e.g. "expert:vip-range", "inferred:empty", "benign:range-drift"
+	TrueError   bool
+	Description string
+	// MatchPrefix, when set, widens violation attribution to any key
+	// under this prefix: relational errors (count mismatches, range
+	// containment) are blamed on the compartment instance, and the
+	// engine may name either side of the relation.
+	MatchPrefix string
+}
+
+// Matches reports whether a reported violation key corresponds to this
+// injection.
+func (i Injection) Matches(violKey string) bool {
+	if i.MatchPrefix != "" {
+		return violKey == i.Key || strings.HasPrefix(violKey, i.MatchPrefix)
+	}
+	return violKey == i.Key
+}
+
+// Branch is one configuration branch derived from the good snapshot.
+type Branch struct {
+	Name     string
+	Store    *config.Store
+	Injected []Injection
+}
+
+// mutate rewrites the value of the instance with the given key.
+func mutate(st *config.Store, key config.Key, newVal, kind, desc string, trueErr bool) (Injection, bool) {
+	want := key.String()
+	for _, in := range st.Instances() {
+		if in.Key.String() == want {
+			inj := Injection{Key: want, OldValue: in.Value, NewValue: newVal, Kind: kind, TrueError: trueErr, Description: desc}
+			in.Value = newVal
+			st.InvalidateCache()
+			return inj, true
+		}
+	}
+	return Injection{}, false
+}
+
+// MatchReport attributes reported violation keys to injections: it
+// returns the injections that at least one key matches, plus the keys no
+// injection accounts for. The Table 6/7 experiments count matched
+// injections (reported errors) and classify them as confirmed or false
+// positive via TrueError.
+func MatchReport(injected []Injection, violKeys []string) (matched []Injection, unattributed []string) {
+	for _, k := range violKeys {
+		ok := false
+		for _, i := range injected {
+			if i.Matches(k) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			unattributed = append(unattributed, k)
+		}
+	}
+	for _, i := range injected {
+		for _, k := range violKeys {
+			if i.Matches(k) {
+				matched = append(matched, i)
+				break
+			}
+		}
+	}
+	return matched, unattributed
+}
+
+// ExpertErrorKinds enumerates the relational corruptions injected for
+// Table 6, in rotation order.
+var ExpertErrorKinds = []string{
+	"expert:vip-range", "expert:blade-id", "expert:mac-ip-count", "expert:ssl-endpoint",
+}
+
+// InjectExpertErrors corrupts nErrors relational settings among the first
+// nClusters expert clusters, rotating through the error catalog. The
+// returned injections are the ground truth for Table 6.
+func InjectExpertErrors(st *config.Store, nClusters, nErrors int, seed int64) []Injection {
+	r := rand.New(rand.NewSource(seed))
+	var out []Injection
+	cluster := func(i int) (string, int) { return fmt.Sprintf("exp-c%03d", i), i + 1 }
+	for e := 0; e < nErrors; e++ {
+		cl, idx := cluster(r.Intn(nClusters))
+		cseg := config.Seg{Name: "Cluster", Inst: cl, Index: idx}
+		var inj Injection
+		var ok bool
+		switch ExpertErrorKinds[e%len(ExpertErrorKinds)] {
+		case "expert:vip-range":
+			key := config.Key{Segs: []config.Seg{cseg, {Name: "LoadBalancerSet", Inst: "lbs0", Index: 1}, {Name: "VipRanges"}}}
+			inj, ok = mutate(st, key, "10.250.0.10-10.250.0.99", "expert:vip-range",
+				"VIP range of a load balancer set is not contained in VIP range of its cluster", true)
+		case "expert:blade-id":
+			key := config.Key{Segs: []config.Seg{cseg, {Name: "Rack", Inst: "r0", Index: 1}, {Name: "Blade", Inst: "b1", Index: 2}, {Name: "BladeID"}}}
+			inj, ok = mutate(st, key, "1", "expert:blade-id",
+				"bad BladeID: duplicates another blade in the same rack", true)
+		case "expert:mac-ip-count":
+			key := config.Key{Segs: []config.Seg{cseg, {Name: "IpRange"}}}
+			inj, ok = mutate(st, key, "10.9.9.1", "expert:mac-ip-count",
+				"inconsistent number of addresses in MAC range and IP range", true)
+		case "expert:ssl-endpoint":
+			key := config.Key{Segs: []config.Seg{cseg, {Name: "Proxy"}, {Name: "Endpoint"}}}
+			inj, ok = mutate(st, key, "http://proxy-"+cl+".example.net:80", "expert:ssl-endpoint",
+				"proxy endpoint is plain HTTP while SSL is enabled", true)
+		}
+		if ok {
+			inj.MatchPrefix = cseg.String()
+			out = append(out, inj)
+		}
+	}
+	return out
+}

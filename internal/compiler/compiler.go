@@ -1,0 +1,670 @@
+// Package compiler lowers parsed CPL statements into an executable
+// Program: a flat list of specifications annotated with their namespace,
+// compartment and conditional context, plus the session-level commands
+// (loads, includes, policies) the runtime executes.
+//
+// The compiler also performs the specification rewrites of §5.2 / Figure 4:
+// aggregating predicates that share a domain, aggregating domains that
+// share a predicate, and omitting constraints implied by others.
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"confvalley/internal/config"
+	"confvalley/internal/cpl/ast"
+	"confvalley/internal/cpl/parser"
+	"confvalley/internal/predicate"
+	"confvalley/internal/report"
+	"confvalley/internal/transform"
+	"confvalley/internal/value"
+	"confvalley/internal/vtype"
+)
+
+func init() {
+	// Let the parser recognize plug-in transforms registered at runtime.
+	// foreach and the [a, b] tuple constructor are engine-level pipeline
+	// forms, not registry entries.
+	parser.IsTransform = func(name string) bool {
+		return name == "foreach" || transform.Known(name)
+	}
+}
+
+// Cond is one conditional guard inherited from an enclosing if-statement.
+type Cond struct {
+	Spec   *ast.SpecStmt // the condition to evaluate
+	Negate bool          // true for else-branch bodies
+	// BindVar, when nonempty, switches the guard to per-value iteration:
+	// the condition's domain values are enumerated and the body is
+	// evaluated once per value satisfying the condition, with BindVar
+	// bound (the Listing 5 $CloudName idiom).
+	BindVar string
+}
+
+// Spec is one executable specification.
+type Spec struct {
+	ID      int
+	Quant   ast.Quant
+	Domains []ast.Domain // usually one; >1 after domain aggregation
+	Pred    ast.Pred
+
+	Namespaces  []config.Pattern // innermost first
+	Compartment *config.Pattern  // combined pattern; nil when none
+	Conds       []Cond           // outermost first
+
+	Severity report.Severity
+	Priority int // higher runs earlier
+	// Message overrides the auto-generated error message (§4.4).
+	Message string
+	Text    string
+}
+
+// Load mirrors a load command.
+type Load struct {
+	Driver, Source, Scope string
+}
+
+// Program is a compiled CPL unit.
+type Program struct {
+	Loads    []Load
+	Includes []string
+	Policies map[string]string
+	Macros   map[string]ast.Pred
+	Specs    []*Spec
+
+	// Stats describes what the optimizer did (Figure 4 ablation).
+	Stats OptStats
+}
+
+// OptStats counts optimizer rewrites.
+type OptStats struct {
+	PredicatesAggregated int // (a) merged specs sharing a domain
+	DomainsAggregated    int // (b) merged specs sharing a predicate
+	ConstraintsOmitted   int // (c) implied constraints dropped
+}
+
+// Options control compilation.
+type Options struct {
+	// Optimize enables the Figure 4 rewrites (on by default via Compile).
+	Optimize bool
+	// Resolver loads included specification files by name; nil disables
+	// include (an error if one is present).
+	Resolver func(path string) (string, error)
+}
+
+// Error is a compile error with the offending construct.
+type Error struct {
+	Where string
+	Msg   string
+}
+
+func (e *Error) Error() string {
+	if e.Where == "" {
+		return "cpl: " + e.Msg
+	}
+	return fmt.Sprintf("cpl: %s: %s", e.Where, e.Msg)
+}
+
+// Compile parses and compiles CPL source with optimizations enabled.
+func Compile(src string) (*Program, error) {
+	return CompileWith(src, Options{Optimize: true})
+}
+
+// CompileWith parses and compiles CPL source with explicit options.
+func CompileWith(src string, opts Options) (*Program, error) {
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileStmts(stmts, opts)
+}
+
+// CompileStmts compiles already-parsed statements.
+func CompileStmts(stmts []ast.Stmt, opts Options) (*Program, error) {
+	prog := &Program{
+		Policies: make(map[string]string),
+		Macros:   make(map[string]ast.Pred),
+	}
+	c := &compilerCtx{prog: prog, opts: opts, seen: make(map[string]bool)}
+	if err := c.stmts(stmts, scope{}); err != nil {
+		return nil, err
+	}
+	for i, s := range prog.Specs {
+		s.ID = i + 1
+	}
+	if opts.Optimize {
+		optimize(prog)
+	}
+	orderByPriority(prog)
+	return prog, nil
+}
+
+// scope is the lexical compilation context.
+type scope struct {
+	namespaces  []config.Pattern
+	compartment *config.Pattern
+	conds       []Cond
+	severity    report.Severity
+}
+
+type compilerCtx struct {
+	prog *Program
+	opts Options
+	seen map[string]bool // include cycle detection
+}
+
+func (c *compilerCtx) stmts(stmts []ast.Stmt, sc scope) error {
+	for _, st := range stmts {
+		if err := c.stmt(st, &sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compilerCtx) stmt(st ast.Stmt, sc *scope) error {
+	switch t := st.(type) {
+	case *ast.LoadStmt:
+		c.prog.Loads = append(c.prog.Loads, Load{Driver: t.Driver, Source: t.Source, Scope: t.Scope})
+		return nil
+	case *ast.IncludeStmt:
+		if c.opts.Resolver == nil {
+			return &Error{Where: "include '" + t.Path + "'", Msg: "no include resolver configured"}
+		}
+		if c.seen[t.Path] {
+			return &Error{Where: "include '" + t.Path + "'", Msg: "include cycle detected"}
+		}
+		c.seen[t.Path] = true
+		src, err := c.opts.Resolver(t.Path)
+		if err != nil {
+			return &Error{Where: "include '" + t.Path + "'", Msg: err.Error()}
+		}
+		sub, err := parser.Parse(src)
+		if err != nil {
+			return err
+		}
+		c.prog.Includes = append(c.prog.Includes, t.Path)
+		return c.stmts(sub, *sc)
+	case *ast.LetStmt:
+		if _, dup := c.prog.Macros[t.Name]; dup {
+			return &Error{Where: "let " + t.Name, Msg: "macro redefined"}
+		}
+		if err := c.checkPred(t.Pred); err != nil {
+			return err
+		}
+		c.prog.Macros[t.Name] = t.Pred
+		return nil
+	case *ast.PolicyStmt:
+		switch t.Name {
+		case "severity":
+			sev, err := report.ParseSeverity(t.Value)
+			if err != nil {
+				return &Error{Where: "policy severity", Msg: err.Error()}
+			}
+			sc.severity = sev
+		case "on_violation":
+			if t.Value != "stop" && t.Value != "continue" {
+				return &Error{Where: "policy on_violation", Msg: "value must be 'stop' or 'continue'"}
+			}
+			c.prog.Policies[t.Name] = t.Value
+		case "priority":
+			c.prog.Policies[t.Name] = t.Value
+		default:
+			return &Error{Where: "policy " + t.Name, Msg: "unknown policy"}
+		}
+		return nil
+	case *ast.GetStmt:
+		// get is a console convenience; in batch programs it is a no-op
+		// recorded nowhere. The console handles it directly.
+		return nil
+	case *ast.BlockStmt:
+		inner := *sc
+		if t.Kind == ast.BlockNamespace {
+			inner.namespaces = append([]config.Pattern{t.Scope}, sc.namespaces...)
+		} else {
+			comb := t.Scope
+			if sc.compartment != nil {
+				comb = t.Scope.Prefixed(*sc.compartment)
+			}
+			inner.compartment = &comb
+		}
+		return c.stmts(t.Body, inner)
+	case *ast.IfStmt:
+		bind := bindVariable(t)
+		thenScope := *sc
+		thenScope.conds = append(append([]Cond{}, sc.conds...), Cond{Spec: t.Cond, BindVar: bind})
+		if err := c.stmts(t.Then, thenScope); err != nil {
+			return err
+		}
+		if t.Else != nil {
+			elseScope := *sc
+			elseScope.conds = append(append([]Cond{}, sc.conds...), Cond{Spec: t.Cond, Negate: true, BindVar: bind})
+			if err := c.stmts(t.Else, elseScope); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ast.SpecStmt:
+		if err := c.checkPred(t.Pred); err != nil {
+			return err
+		}
+		spec := &Spec{
+			Quant:       t.Quant,
+			Domains:     []ast.Domain{t.Domain},
+			Pred:        t.Pred,
+			Namespaces:  sc.namespaces,
+			Compartment: sc.compartment,
+			Conds:       sc.conds,
+			Severity:    sc.severity,
+			Message:     t.Message,
+			Text:        t.Text,
+		}
+		c.prog.Specs = append(c.prog.Specs, spec)
+		return nil
+	}
+	return &Error{Msg: fmt.Sprintf("unsupported statement %T", st)}
+}
+
+// bindVariable detects the Listing 5 variable-binding idiom: the condition
+// domain is a simple one-segment reference whose leaf name appears as a
+// variable in a body domain.
+func bindVariable(t *ast.IfStmt) string {
+	ref, ok := t.Cond.Domain.(*ast.Ref)
+	if !ok || len(ref.Pattern.Segs) == 0 {
+		return ""
+	}
+	leaf := ref.Pattern.Segs[len(ref.Pattern.Segs)-1].Name
+	if strings.Contains(leaf, "*") {
+		return ""
+	}
+	if bodyUsesVar(t.Then, leaf) || bodyUsesVar(t.Else, leaf) {
+		return leaf
+	}
+	return ""
+}
+
+func bodyUsesVar(stmts []ast.Stmt, name string) bool {
+	for _, st := range stmts {
+		found := false
+		walkDomains(st, func(d ast.Domain) {
+			if r, ok := d.(*ast.Ref); ok {
+				for _, v := range r.Pattern.Vars() {
+					if v == name {
+						found = true
+					}
+				}
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// walkDomains visits every domain under a statement.
+func walkDomains(n ast.Node, fn func(ast.Domain)) {
+	switch t := n.(type) {
+	case *ast.SpecStmt:
+		walkDomains(t.Domain, fn)
+		walkPredDomains(t.Pred, fn)
+	case *ast.IfStmt:
+		walkDomains(t.Cond, fn)
+		for _, s := range t.Then {
+			walkDomains(s, fn)
+		}
+		for _, s := range t.Else {
+			walkDomains(s, fn)
+		}
+	case *ast.BlockStmt:
+		for _, s := range t.Body {
+			walkDomains(s, fn)
+		}
+	case ast.Domain:
+		fn(t)
+		switch d := t.(type) {
+		case *ast.Pipe:
+			walkDomains(d.Src, fn)
+			for _, step := range d.Steps {
+				for _, a := range step.T.Args {
+					if de, ok := a.(*ast.DomainExpr); ok {
+						walkDomains(de.D, fn)
+					}
+				}
+			}
+		case *ast.BinaryDomain:
+			walkDomains(d.L, fn)
+			walkDomains(d.R, fn)
+		case *ast.CompartmentDomain:
+			walkDomains(d.Inner, fn)
+		}
+	}
+}
+
+func walkPredDomains(p ast.Pred, fn func(ast.Domain)) {
+	switch t := p.(type) {
+	case *ast.And:
+		walkPredDomains(t.L, fn)
+		walkPredDomains(t.R, fn)
+	case *ast.Or:
+		walkPredDomains(t.L, fn)
+		walkPredDomains(t.R, fn)
+	case *ast.Not:
+		walkPredDomains(t.X, fn)
+	case *ast.QuantPred:
+		walkPredDomains(t.X, fn)
+	case *ast.IfPred:
+		walkPredDomains(t.Cond, fn)
+		walkPredDomains(t.Then, fn)
+		if t.Else != nil {
+			walkPredDomains(t.Else, fn)
+		}
+	case *ast.Range:
+		walkExprDomains(t.Lo, fn)
+		walkExprDomains(t.Hi, fn)
+	case *ast.Enum:
+		for _, e := range t.Elems {
+			walkExprDomains(e, fn)
+		}
+	case *ast.Rel:
+		walkExprDomains(t.Rhs, fn)
+	case *ast.Call:
+		for _, a := range t.Args {
+			walkExprDomains(a, fn)
+		}
+	}
+}
+
+func walkExprDomains(e ast.Expr, fn func(ast.Domain)) {
+	if de, ok := e.(*ast.DomainExpr); ok {
+		walkDomains(de.D, fn)
+	}
+}
+
+// checkPred validates that every primitive and extension predicate in the
+// tree resolves, so misspelled predicates fail at compile time with a
+// position instead of at evaluation time.
+func (c *compilerCtx) checkPred(p ast.Pred) error {
+	switch t := p.(type) {
+	case *ast.And:
+		if err := c.checkPred(t.L); err != nil {
+			return err
+		}
+		return c.checkPred(t.R)
+	case *ast.Or:
+		if err := c.checkPred(t.L); err != nil {
+			return err
+		}
+		return c.checkPred(t.R)
+	case *ast.Not:
+		return c.checkPred(t.X)
+	case *ast.QuantPred:
+		return c.checkPred(t.X)
+	case *ast.IfPred:
+		if err := c.checkPred(t.Cond); err != nil {
+			return err
+		}
+		if err := c.checkPred(t.Then); err != nil {
+			return err
+		}
+		if t.Else != nil {
+			return c.checkPred(t.Else)
+		}
+		return nil
+	case *ast.Prim:
+		switch t.Name {
+		case "nonempty", "unique", "consistent", "ordered", "exists", "reachable":
+			return nil
+		}
+		return &Error{Where: fmt.Sprintf("%s", t.Pos()), Msg: fmt.Sprintf("unknown predicate %q", t.Name)}
+	case *ast.Call:
+		if t.Name == "__domain_lhs" {
+			return &Error{Where: fmt.Sprintf("%s", t.Pos()), Msg: "domain-to-domain relations are only supported at statement level ($A <= $B)"}
+		}
+		f, ok := predicate.Lookup(t.Name)
+		if !ok {
+			return &Error{Where: fmt.Sprintf("%s", t.Pos()), Msg: fmt.Sprintf("unknown predicate %q (registered: %s)", t.Name, strings.Join(predicate.Names(), ", "))}
+		}
+		if f.Arity >= 0 && len(t.Args) != f.Arity {
+			return &Error{Where: fmt.Sprintf("%s", t.Pos()), Msg: fmt.Sprintf("predicate %s expects %d argument(s), got %d", t.Name, f.Arity, len(t.Args))}
+		}
+		return nil
+	case *ast.MacroRef:
+		if _, ok := c.prog.Macros[t.Name]; !ok {
+			return &Error{Where: fmt.Sprintf("%s", t.Pos()), Msg: fmt.Sprintf("undefined macro @%s", t.Name)}
+		}
+		return nil
+	}
+	return nil // TypePred, Match, Range, Enum, Rel are self-contained
+}
+
+// ---- Optimizer (§5.2, Figure 4) ----
+
+func optimize(prog *Program) {
+	// Aggregate predicates first so constraints scattered over separate
+	// statements (the redundant hand-written shape) meet inside one
+	// conjunction, where implied constraints become visible.
+	prog.Specs = aggregatePredicates(prog, prog.Specs)
+	prog.Specs = omitImplied(prog, prog.Specs)
+	prog.Specs = aggregateDomains(prog, prog.Specs)
+}
+
+// contextKey identifies specs that evaluate in the same context and can
+// therefore be merged.
+func contextKey(s *Spec) string {
+	var b strings.Builder
+	for _, n := range s.Namespaces {
+		b.WriteString("n:" + n.String() + ";")
+	}
+	if s.Compartment != nil {
+		b.WriteString("c:" + s.Compartment.String() + ";")
+	}
+	for _, c := range s.Conds {
+		fmt.Fprintf(&b, "i:%s:%v:%s;", c.Spec.Text, c.Negate, c.BindVar)
+	}
+	fmt.Fprintf(&b, "q:%d;sev:%d;msg:%s", s.Quant, s.Severity, s.Message)
+	return b.String()
+}
+
+func domainsKey(s *Spec) string {
+	parts := make([]string, len(s.Domains))
+	for i, d := range s.Domains {
+		parts[i] = ast.Render(d)
+	}
+	return strings.Join(parts, "|")
+}
+
+// aggregatePredicates merges consecutive specs with identical domains and
+// context into one spec whose predicate is the conjunction — Figure 4(a):
+// one instance-discovery query instead of many.
+func aggregatePredicates(prog *Program, specs []*Spec) []*Spec {
+	byKey := make(map[string]*Spec)
+	var out []*Spec
+	for _, s := range specs {
+		if s.Quant != ast.QuantAll {
+			out = append(out, s)
+			continue
+		}
+		key := contextKey(s) + "|" + domainsKey(s)
+		if prev, ok := byKey[key]; ok {
+			prev.Pred = &ast.And{L: prev.Pred, R: s.Pred}
+			prev.Text = prev.Text + " & " + strings.TrimPrefix(s.Text, ast.Render(s.Domains[0])+" -> ")
+			prog.Stats.PredicatesAggregated++
+			continue
+		}
+		byKey[key] = s
+		out = append(out, s)
+	}
+	return out
+}
+
+// aggregateDomains merges specs with identical predicates and context into
+// one spec over multiple domains — Figure 4(b): predicate memory objects
+// are shared.
+func aggregateDomains(prog *Program, specs []*Spec) []*Spec {
+	byKey := make(map[string]*Spec)
+	var out []*Spec
+	for _, s := range specs {
+		if s.Quant != ast.QuantAll {
+			out = append(out, s)
+			continue
+		}
+		key := contextKey(s) + "|" + ast.Render(s.Pred)
+		if prev, ok := byKey[key]; ok {
+			prev.Domains = append(prev.Domains, s.Domains...)
+			prev.Text = prev.Text + " ; " + s.Text
+			prog.Stats.DomainsAggregated++
+			continue
+		}
+		byKey[key] = s
+		out = append(out, s)
+	}
+	return out
+}
+
+// omitImplied drops constraints implied by stronger ones inside each
+// spec's conjunction — Figure 4(c): an enumeration of nonempty strings
+// implies both "string" and "nonempty"; "port" implies "int".
+func omitImplied(prog *Program, specs []*Spec) []*Spec {
+	for _, s := range specs {
+		conj := flattenAnd(s.Pred)
+		if len(conj) < 2 {
+			continue
+		}
+		keep := make([]ast.Pred, 0, len(conj))
+		for i, p := range conj {
+			implied := false
+			for j, q := range conj {
+				if i == j {
+					continue
+				}
+				if implies(q, p) && !(implies(p, q) && j > i) {
+					// q implies p (and not a mutual tie resolved to keep
+					// the earlier one): drop p.
+					implied = true
+					break
+				}
+			}
+			if implied {
+				prog.Stats.ConstraintsOmitted++
+				continue
+			}
+			keep = append(keep, p)
+		}
+		if len(keep) < len(conj) {
+			s.Pred = joinAnd(keep)
+		}
+	}
+	return specs
+}
+
+func flattenAnd(p ast.Pred) []ast.Pred {
+	if a, ok := p.(*ast.And); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []ast.Pred{p}
+}
+
+func joinAnd(ps []ast.Pred) ast.Pred {
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = &ast.And{L: out, R: p}
+	}
+	return out
+}
+
+// implies reports whether predicate q subsumes predicate p (q ⇒ p) for the
+// statically decidable cases.
+func implies(q, p ast.Pred) bool {
+	switch pp := p.(type) {
+	case *ast.TypePred:
+		switch qq := q.(type) {
+		case *ast.TypePred:
+			// A more specific type implies a more general one.
+			return qq.T != pp.T && vtype.LE(qq.T, pp.T)
+		case *ast.Enum:
+			vals, ok := enumLiterals(qq)
+			if !ok {
+				return false
+			}
+			for _, v := range vals {
+				if !vtype.Conforms(v, pp.T) {
+					return false
+				}
+			}
+			return true
+		}
+	case *ast.Prim:
+		if pp.Name != "nonempty" {
+			return false
+		}
+		// Only an enumeration of nonempty members implies nonemptiness:
+		// type and range predicates pass unset values vacuously.
+		if qq, ok := q.(*ast.Enum); ok {
+			vals, ok := enumLiterals(qq)
+			if !ok {
+				return false
+			}
+			for _, v := range vals {
+				if strings.TrimSpace(v) == "" {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func enumLiterals(e *ast.Enum) ([]string, bool) {
+	out := make([]string, 0, len(e.Elems))
+	for _, el := range e.Elems {
+		l, ok := el.(*ast.Lit)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, l.Text)
+	}
+	return out, true
+}
+
+// orderByPriority moves specs whose text mentions a priority key pattern
+// (policy priority 'Fabric.*,Cluster.*') to the front, preserving relative
+// order otherwise (§4.3 validation priority).
+func orderByPriority(prog *Program) {
+	pats := prog.Policies["priority"]
+	if pats == "" {
+		return
+	}
+	var keys []string
+	for _, p := range strings.Split(pats, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			keys = append(keys, p)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	var high, low []*Spec
+	for _, s := range prog.Specs {
+		matched := false
+		for _, k := range keys {
+			for _, d := range s.Domains {
+				if r, ok := d.(*ast.Ref); ok && config.Glob(k, r.Pattern.String()) {
+					matched = true
+				}
+			}
+		}
+		if matched {
+			s.Priority = 1
+			high = append(high, s)
+		} else {
+			low = append(low, s)
+		}
+	}
+	prog.Specs = append(high, low...)
+}
+
+// LiteralValue converts an AST literal to a runtime value.
+func LiteralValue(l *ast.Lit) value.V { return value.Scalar(l.Text) }

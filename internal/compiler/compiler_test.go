@@ -1,0 +1,291 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"confvalley/internal/cpl/ast"
+	"confvalley/internal/report"
+)
+
+func compile(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return prog
+}
+
+func compileRaw(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := CompileWith(src, Options{})
+	if err != nil {
+		t.Fatalf("CompileWith: %v", err)
+	}
+	return prog
+}
+
+func TestCompileBasics(t *testing.T) {
+	prog := compile(t, `
+load 'xml' 'settings.xml' as Fabric
+policy on_violation 'continue'
+let UniqueIP := unique & ip
+$Fabric.Timeout -> int
+`)
+	if len(prog.Loads) != 1 || prog.Loads[0].Scope != "Fabric" {
+		t.Errorf("loads = %+v", prog.Loads)
+	}
+	if prog.Policies["on_violation"] != "continue" {
+		t.Errorf("policies = %v", prog.Policies)
+	}
+	if _, ok := prog.Macros["UniqueIP"]; !ok {
+		t.Error("macro missing")
+	}
+	if len(prog.Specs) != 1 || prog.Specs[0].ID != 1 {
+		t.Errorf("specs = %+v", prog.Specs)
+	}
+}
+
+func TestNamespaceAndCompartmentScopes(t *testing.T) {
+	prog := compileRaw(t, `
+namespace r.s {
+  $k1 -> nonempty
+}
+compartment Cluster {
+  $ProxyIP -> ip
+  compartment Rack {
+    $Blade.Location -> unique
+  }
+}
+`)
+	if len(prog.Specs) != 3 {
+		t.Fatalf("specs = %d", len(prog.Specs))
+	}
+	if len(prog.Specs[0].Namespaces) != 1 || prog.Specs[0].Namespaces[0].String() != "r.s" {
+		t.Errorf("spec0 namespaces = %v", prog.Specs[0].Namespaces)
+	}
+	if prog.Specs[1].Compartment.String() != "Cluster" {
+		t.Errorf("spec1 compartment = %v", prog.Specs[1].Compartment)
+	}
+	if prog.Specs[2].Compartment.String() != "Cluster.Rack" {
+		t.Errorf("nested compartment = %v", prog.Specs[2].Compartment)
+	}
+}
+
+func TestIfConditionsAndBinding(t *testing.T) {
+	prog := compileRaw(t, `
+if (exists $RoutingEntry.Gateway == 'LoadBalancerGateway')
+  $LoadBalancerSet.Device -> nonempty
+
+if ($CloudName -> ~match('UtilityFabric')) {
+  $Fabric::$CloudName.TenantName -> nonempty
+} else {
+  $Fabric::$CloudName.TenantName -> ~nonempty
+}
+`)
+	if len(prog.Specs) != 3 {
+		t.Fatalf("specs = %d", len(prog.Specs))
+	}
+	if len(prog.Specs[0].Conds) != 1 || prog.Specs[0].Conds[0].BindVar != "" {
+		t.Errorf("spec0 conds = %+v", prog.Specs[0].Conds)
+	}
+	if prog.Specs[1].Conds[0].BindVar != "CloudName" {
+		t.Errorf("binding not detected: %+v", prog.Specs[1].Conds[0])
+	}
+	if !prog.Specs[2].Conds[0].Negate {
+		t.Errorf("else branch should negate: %+v", prog.Specs[2].Conds[0])
+	}
+}
+
+func TestSeverityPolicy(t *testing.T) {
+	prog := compileRaw(t, `
+$A -> int
+policy severity 'critical'
+$B -> int
+`)
+	if prog.Specs[0].Severity != report.Info {
+		t.Errorf("spec0 severity = %v", prog.Specs[0].Severity)
+	}
+	if prog.Specs[1].Severity != report.Critical {
+		t.Errorf("spec1 severity = %v", prog.Specs[1].Severity)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"$X -> nosuchpredicate",
+		"$X -> @Undefined",
+		"let A := int\nlet A := bool",
+		"policy severity 'extreme'",
+		"policy on_violation 'maybe'",
+		"policy nosuch 'x'",
+		"include 'missing.cpl'",
+		"$X -> startswith('a','b')",
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestIncludeResolver(t *testing.T) {
+	files := map[string]string{
+		"types.cpl": "$A -> int",
+		"loop.cpl":  "include 'loop.cpl'",
+	}
+	opts := Options{Resolver: func(p string) (string, error) {
+		if s, ok := files[p]; ok {
+			return s, nil
+		}
+		return "", fmt.Errorf("not found")
+	}}
+	prog, err := CompileWith("include 'types.cpl'\n$B -> bool", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Specs) != 2 || len(prog.Includes) != 1 {
+		t.Errorf("specs=%d includes=%v", len(prog.Specs), prog.Includes)
+	}
+	if _, err := CompileWith("include 'loop.cpl'", opts); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle error = %v", err)
+	}
+	if _, err := CompileWith("include 'gone.cpl'", opts); err == nil {
+		t.Error("missing include should fail")
+	}
+}
+
+// Figure 4(a): predicates over the same domain merge into one spec.
+func TestOptAggregatePredicates(t *testing.T) {
+	prog := compile(t, `
+$s.k1 -> ip
+compartment s {
+  $k1 -> unique
+  $k1 -> <= $k2
+}
+`)
+	// The two compartment specs share a domain; they merge. Relations
+	// merge too since both are plain ∀ specs.
+	if prog.Stats.PredicatesAggregated != 1 {
+		t.Errorf("aggregated = %d, want 1", prog.Stats.PredicatesAggregated)
+	}
+	total := 0
+	for _, s := range prog.Specs {
+		total += len(s.Domains)
+	}
+	if len(prog.Specs) != 2 {
+		for _, s := range prog.Specs {
+			t.Logf("  spec: %s", s.Text)
+		}
+		t.Errorf("specs = %d, want 2", len(prog.Specs))
+	}
+}
+
+// Figure 4(b): domains with the same predicate merge into one spec.
+func TestOptAggregateDomains(t *testing.T) {
+	prog := compile(t, `
+$s.k1 -> ip & unique & [0, 10]
+$s.k2 -> ip & unique & [0, 10]
+`)
+	if prog.Stats.DomainsAggregated != 1 {
+		t.Errorf("aggregated = %d, want 1", prog.Stats.DomainsAggregated)
+	}
+	if len(prog.Specs) != 1 || len(prog.Specs[0].Domains) != 2 {
+		t.Errorf("specs = %d, domains = %d", len(prog.Specs), len(prog.Specs[0].Domains))
+	}
+}
+
+// Figure 4(c): constraints implied by others are dropped.
+func TestOptOmitImplied(t *testing.T) {
+	prog := compile(t, "$k1 -> string & nonempty & {'compute','storage'}")
+	if prog.Stats.ConstraintsOmitted != 2 {
+		t.Errorf("omitted = %d, want 2 (string, nonempty)", prog.Stats.ConstraintsOmitted)
+	}
+	if _, ok := prog.Specs[0].Pred.(*ast.Enum); !ok {
+		t.Errorf("remaining pred = %s", ast.Render(prog.Specs[0].Pred))
+	}
+	// port implies int.
+	prog = compile(t, "$k2 -> int & port")
+	if prog.Stats.ConstraintsOmitted != 1 {
+		t.Errorf("omitted = %d, want 1 (int)", prog.Stats.ConstraintsOmitted)
+	}
+	// int does NOT imply nonempty: type predicates pass unset values
+	// vacuously, so nonempty carries independent meaning.
+	prog = compile(t, "$k3 -> nonempty & int")
+	if prog.Stats.ConstraintsOmitted != 0 {
+		t.Errorf("omitted = %d, want 0", prog.Stats.ConstraintsOmitted)
+	}
+	// A literal range does NOT imply nonempty either: ordering checks
+	// skip values incomparable with the bounds, including unset ones.
+	prog = compile(t, "$k4 -> nonempty & [1, 9]")
+	if prog.Stats.ConstraintsOmitted != 0 {
+		t.Errorf("omitted = %d, want 0", prog.Stats.ConstraintsOmitted)
+	}
+}
+
+func TestOptPreservesDistinctContexts(t *testing.T) {
+	// Same domain text but different compartments must NOT merge.
+	prog := compile(t, `
+compartment A { $k -> int }
+compartment B { $k -> int }
+`)
+	if len(prog.Specs) != 2 {
+		t.Errorf("specs = %d, want 2 (different compartments)", len(prog.Specs))
+	}
+	// Existential specs never merge.
+	prog = compile(t, `
+exists $k -> == '1'
+exists $k -> == '2'
+`)
+	if len(prog.Specs) != 2 {
+		t.Errorf("specs = %d, want 2 (existential)", len(prog.Specs))
+	}
+}
+
+func TestUnoptimizedKeepsAll(t *testing.T) {
+	src := `
+$s.k1 -> ip
+$s.k1 -> unique
+$s.k2 -> ip
+`
+	raw := compileRaw(t, src)
+	opt := compile(t, src)
+	if len(raw.Specs) != 3 {
+		t.Errorf("raw specs = %d", len(raw.Specs))
+	}
+	if len(opt.Specs) >= len(raw.Specs) {
+		t.Errorf("optimization did nothing: %d vs %d", len(opt.Specs), len(raw.Specs))
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	prog := compileRaw(t, `
+policy priority 'Fabric.*'
+$Cluster.A -> int
+$Fabric.B -> int
+$Cluster.C -> bool
+$Fabric.D -> bool
+`)
+	first := prog.Specs[0]
+	if len(first.Domains) == 0 {
+		t.Fatal("no domains")
+	}
+	r := first.Domains[0].(*ast.Ref)
+	if !strings.HasPrefix(r.Pattern.String(), "Fabric.") {
+		t.Errorf("first spec domain = %s, want Fabric.*", r.Pattern)
+	}
+	if first.Priority != 1 {
+		t.Errorf("priority = %d", first.Priority)
+	}
+}
+
+func TestDomainLhsRejectedInPredicatePosition(t *testing.T) {
+	// "$A == $B" nested inside a predicate chain is rejected at compile
+	// time with a helpful message.
+	_, err := Compile("$X -> nonempty & $A.B == $C.D")
+	if err == nil || !strings.Contains(err.Error(), "statement level") {
+		t.Errorf("err = %v", err)
+	}
+}

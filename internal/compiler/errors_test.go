@@ -1,0 +1,151 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"confvalley/internal/cpl/ast"
+	"confvalley/internal/report"
+)
+
+func TestCheckPredWalksAllShapes(t *testing.T) {
+	// Misspelled predicates are caught wherever they hide.
+	bad := []string{
+		"$X -> int & nosuch",
+		"$X -> nosuch | int",
+		"$X -> ~nosuch",
+		"$X -> exists nosuch",
+		"$X -> if (nosuch) int",
+		"$X -> if (int) nosuch",
+		"$X -> if (int) bool else nosuch",
+		"let M := nosuch",
+	}
+	for _, src := range bad {
+		_, err := Compile(src)
+		if err == nil || !strings.Contains(err.Error(), "nosuch") {
+			t.Errorf("Compile(%q) err = %v", src, err)
+		}
+	}
+}
+
+func TestMacroUsableAfterDefinition(t *testing.T) {
+	prog, err := Compile("let A := int\nlet B := @A & nonempty\n$X -> @B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Macros) != 2 {
+		t.Errorf("macros = %d", len(prog.Macros))
+	}
+}
+
+func TestPolicySeverityScopedToFollowing(t *testing.T) {
+	prog, err := CompileWith(`
+$A -> int
+policy severity 'error'
+namespace n {
+  $B -> int
+}
+$C -> int
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Specs[0].Severity != report.Info {
+		t.Errorf("A severity = %v", prog.Specs[0].Severity)
+	}
+	if prog.Specs[1].Severity != report.Error || prog.Specs[2].Severity != report.Error {
+		t.Errorf("B/C severity = %v/%v", prog.Specs[1].Severity, prog.Specs[2].Severity)
+	}
+}
+
+func TestConditionContextKeysDiffer(t *testing.T) {
+	// Identical spec bodies under different conditions must not merge.
+	prog, err := Compile(`
+if (exists $F -> == '1') $X -> int
+if (exists $F -> == '2') $X -> int
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Specs) != 2 {
+		t.Errorf("specs merged across conditions: %d", len(prog.Specs))
+	}
+}
+
+func TestBindVariableDetection(t *testing.T) {
+	// Wildcard leaf disables binding.
+	prog, err := CompileWith(`
+if ($Cloud* -> nonempty) { $Fabric.X -> int }
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Specs[0].Conds[0].BindVar != "" {
+		t.Errorf("wildcard condition should not bind: %+v", prog.Specs[0].Conds[0])
+	}
+	// Binding detected in else bodies and predicate expressions too.
+	prog, err = CompileWith(`
+if ($Name -> nonempty) { $A -> int } else { $B -> == $Fabric::$Name.X }
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Specs[1].Conds[0].BindVar != "Name" {
+		t.Errorf("binding via else-body predicate expression missed: %+v", prog.Specs[1].Conds[0])
+	}
+}
+
+func TestRenderOfCompiledTextStable(t *testing.T) {
+	src := "$Fabric.X -> int & [1, 5] message 'custom'"
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Specs[0].Text != src {
+		t.Errorf("Text = %q, want %q", prog.Specs[0].Text, src)
+	}
+}
+
+func TestGetStatementIsNoOpInBatch(t *testing.T) {
+	prog, err := Compile("get $Fabric.X\n$Fabric.X -> int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Specs) != 1 {
+		t.Errorf("specs = %d; get must not become a spec", len(prog.Specs))
+	}
+}
+
+func TestFlattenJoinRoundTrip(t *testing.T) {
+	prog, err := CompileWith("$X -> int & nonempty & [1, 2] & unique", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj := flattenAnd(prog.Specs[0].Pred)
+	if len(conj) != 4 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	back := joinAnd(conj)
+	if ast.Render(back) != ast.Render(prog.Specs[0].Pred) {
+		t.Error("flatten/join not a round trip")
+	}
+}
+
+func TestImpliesNegativeCases(t *testing.T) {
+	cases := []struct{ q, p string }{
+		{"int", "bool"},   // unrelated types
+		{"[1, 5]", "int"}, // range does not imply a type
+		{"unique", "nonempty"},
+		{"match('x')", "nonempty"},
+	}
+	for _, c := range cases {
+		src := "$X -> " + c.p + " & " + c.q
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.Stats.ConstraintsOmitted != 0 {
+			t.Errorf("%q implied %q and was dropped; it should not be", c.q, c.p)
+		}
+	}
+}

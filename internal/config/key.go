@@ -1,0 +1,156 @@
+// Package config implements ConfValley's unified configuration
+// representation (§4.2.2 of the paper).
+//
+// Every configuration instance, regardless of the source format it was
+// loaded from, is identified by a fully-qualified Key: a sequence of
+// segments describing the scopes it lives under, ending with the parameter
+// name. A segment carries the class name ("Cloud"), and, when the scope is
+// replicated, the instance name ("Cloud::East1Storage1") and its ordinal
+// position among same-named siblings ("Cloud[1]").
+//
+// The class of an instance is the sequence of segment names only
+// ("CloudGroup.Cloud.Tenant.MonitorNodeHealth"); CPL specifications are
+// written against classes and the Store discovers all matching instances.
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Seg is one segment of a concrete instance key.
+type Seg struct {
+	// Name is the class name of this scope or parameter.
+	Name string
+	// Inst is the instance name when the underlying source names its
+	// scope instances (e.g. <Cloud Name="East1Storage1">); empty for
+	// anonymous or singleton scopes.
+	Inst string
+	// Index is the 1-based ordinal of this instance among siblings with
+	// the same Name under the same parent instance; 0 when the segment
+	// is not replicated.
+	Index int
+}
+
+// String renders the segment in CPL's fully-qualified notation.
+func (s Seg) String() string {
+	switch {
+	case s.Inst != "" && s.Index > 0:
+		return s.Name + "::" + s.Inst + "[" + strconv.Itoa(s.Index) + "]"
+	case s.Inst != "":
+		return s.Name + "::" + s.Inst
+	case s.Index > 0:
+		return s.Name + "[" + strconv.Itoa(s.Index) + "]"
+	default:
+		return s.Name
+	}
+}
+
+// Key is a concrete, fully-qualified configuration instance key.
+type Key struct {
+	Segs []Seg
+}
+
+// K builds a Key from alternating name/instance information; it is a
+// convenience for tests and generators. Each element is either "Name",
+// "Name::Inst", or "Name[2]".
+func K(segs ...string) Key {
+	k := Key{Segs: make([]Seg, 0, len(segs))}
+	for _, s := range segs {
+		k.Segs = append(k.Segs, parseSeg(s))
+	}
+	return k
+}
+
+func parseSeg(s string) Seg {
+	var seg Seg
+	if i := strings.Index(s, "::"); i >= 0 {
+		seg.Name = s[:i]
+		rest := s[i+2:]
+		if j := strings.IndexByte(rest, '['); j >= 0 {
+			seg.Inst = rest[:j]
+			seg.Index = atoiOr0(strings.TrimSuffix(rest[j+1:], "]"))
+		} else {
+			seg.Inst = rest
+		}
+		return seg
+	}
+	if j := strings.IndexByte(s, '['); j >= 0 && strings.HasSuffix(s, "]") {
+		seg.Name = s[:j]
+		seg.Index = atoiOr0(s[j+1 : len(s)-1])
+		return seg
+	}
+	seg.Name = s
+	return seg
+}
+
+func atoiOr0(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// String renders the full key, segments joined with dots.
+func (k Key) String() string {
+	parts := make([]string, len(k.Segs))
+	for i, s := range k.Segs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// ClassPath returns the class identity of the key: segment names only,
+// joined with dots.
+func (k Key) ClassPath() string {
+	parts := make([]string, len(k.Segs))
+	for i, s := range k.Segs {
+		parts[i] = s.Name
+	}
+	return strings.Join(parts, ".")
+}
+
+// Leaf returns the final segment name — the parameter name.
+func (k Key) Leaf() string {
+	if len(k.Segs) == 0 {
+		return ""
+	}
+	return k.Segs[len(k.Segs)-1].Name
+}
+
+// PrefixString returns the canonical rendering of the first n segments.
+// It identifies the compartment instance a key belongs to.
+func (k Key) PrefixString(n int) string {
+	if n > len(k.Segs) {
+		n = len(k.Segs)
+	}
+	parts := make([]string, n)
+	for i := 0; i < n; i++ {
+		parts[i] = k.Segs[i].String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// Append returns a new key with an extra segment; the receiver is unchanged.
+func (k Key) Append(seg Seg) Key {
+	segs := make([]Seg, len(k.Segs)+1)
+	copy(segs, k.Segs)
+	segs[len(k.Segs)] = seg
+	return Key{Segs: segs}
+}
+
+// Instance is a single configuration instance: a fully-qualified key, its
+// raw string value, and provenance for error reporting.
+type Instance struct {
+	Key    Key
+	Value  string
+	Source string // originating file or endpoint
+	Line   int    // line in the source, 0 if unknown
+}
+
+// String renders "key = value" for diagnostics.
+func (in *Instance) String() string {
+	return fmt.Sprintf("%s = %q", in.Key.String(), in.Value)
+}

@@ -1,0 +1,65 @@
+package config
+
+import "testing"
+
+func TestSegString(t *testing.T) {
+	cases := []struct {
+		seg  Seg
+		want string
+	}{
+		{Seg{Name: "Cloud"}, "Cloud"},
+		{Seg{Name: "Cloud", Inst: "East1"}, "Cloud::East1"},
+		{Seg{Name: "Cloud", Index: 2}, "Cloud[2]"},
+		{Seg{Name: "Cloud", Inst: "East1", Index: 2}, "Cloud::East1[2]"},
+	}
+	for _, c := range cases {
+		if got := c.seg.String(); got != c.want {
+			t.Errorf("Seg.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestKBuilderRoundTrip(t *testing.T) {
+	k := K("CloudGroup::East1", "Cloud::S1[2]", "Tenant[1]", "MonitorNodeHealth")
+	if got := k.String(); got != "CloudGroup::East1.Cloud::S1[2].Tenant[1].MonitorNodeHealth" {
+		t.Errorf("Key.String() = %q", got)
+	}
+	if got := k.ClassPath(); got != "CloudGroup.Cloud.Tenant.MonitorNodeHealth" {
+		t.Errorf("ClassPath() = %q", got)
+	}
+	if got := k.Leaf(); got != "MonitorNodeHealth" {
+		t.Errorf("Leaf() = %q", got)
+	}
+	if k.Segs[1].Inst != "S1" || k.Segs[1].Index != 2 {
+		t.Errorf("segment parse: %+v", k.Segs[1])
+	}
+}
+
+func TestKeyPrefixString(t *testing.T) {
+	k := K("A::1", "B::2", "C")
+	if got := k.PrefixString(2); got != "A::1.B::2" {
+		t.Errorf("PrefixString(2) = %q", got)
+	}
+	if got := k.PrefixString(99); got != k.String() {
+		t.Errorf("PrefixString over length should render full key: %q", got)
+	}
+}
+
+func TestKeyAppendDoesNotAlias(t *testing.T) {
+	base := K("A", "B")
+	k1 := base.Append(Seg{Name: "C"})
+	k2 := base.Append(Seg{Name: "D"})
+	if k1.String() != "A.B.C" || k2.String() != "A.B.D" {
+		t.Errorf("Append aliasing: %q, %q", k1, k2)
+	}
+	if base.String() != "A.B" {
+		t.Errorf("Append mutated receiver: %q", base)
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	in := &Instance{Key: K("Fabric", "Timeout"), Value: "30"}
+	if got := in.String(); got != `Fabric.Timeout = "30"` {
+		t.Errorf("Instance.String() = %q", got)
+	}
+}

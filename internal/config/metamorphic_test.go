@@ -1,0 +1,114 @@
+package config
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomStoreAndPatterns builds a store with randomized scope shapes and a
+// set of patterns mixing exact names, wildcards, instances and indexes.
+func randomStoreAndPatterns(rng *rand.Rand) (*Store, []Pattern) {
+	st := NewStore()
+	scopes := []string{"Cloud", "Cluster", "Rack", "Fabric"}
+	params := []string{"Timeout", "ProxyIP", "BackupIP", "Limit", "Path"}
+	n := 50 + rng.Intn(100)
+	for i := 0; i < n; i++ {
+		depth := 1 + rng.Intn(3)
+		var k Key
+		for d := 0; d < depth; d++ {
+			k.Segs = append(k.Segs, Seg{
+				Name:  scopes[rng.Intn(len(scopes))],
+				Inst:  fmt.Sprintf("i%d", rng.Intn(5)),
+				Index: 1 + rng.Intn(5),
+			})
+		}
+		k.Segs = append(k.Segs, Seg{Name: params[rng.Intn(len(params))]})
+		st.Add(&Instance{Key: k, Value: fmt.Sprintf("%d", i)})
+	}
+	var pats []Pattern
+	for _, s := range []string{
+		"Timeout", "ProxyIP", "*IP", "*",
+		"Cloud.Timeout", "Cluster.ProxyIP", "Cloud.Cluster.Path",
+		"Cloud::i1.Timeout", "Cluster[2].Limit", "*.Timeout",
+		"Cloud.*", "Clo*.Pro*", "Fabric::i0.Fabric::i1.Path",
+		"NoSuch", "Cloud.NoSuch",
+	} {
+		p, err := ParsePattern(s)
+		if err != nil {
+			panic(err)
+		}
+		pats = append(pats, p)
+	}
+	return st, pats
+}
+
+// Property: the optimized (trie + cache) discovery and the naive
+// scan-everything discovery agree on every pattern, across random stores.
+func TestPropDiscoverAgreesWithNaive(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		st, pats := randomStoreAndPatterns(rng)
+		for _, p := range pats {
+			fast := st.Discover(p)
+			slow := st.DiscoverNaive(p)
+			if len(fast) != len(slow) {
+				t.Fatalf("seed %d pattern %s: indexed %d vs naive %d", seed, p, len(fast), len(slow))
+			}
+			want := make(map[*Instance]bool, len(slow))
+			for _, in := range slow {
+				want[in] = true
+			}
+			for _, in := range fast {
+				if !want[in] {
+					t.Fatalf("seed %d pattern %s: indexed found %s that naive did not", seed, p, in)
+				}
+			}
+		}
+	}
+}
+
+// Property: discovery results are stable across cache invalidation.
+func TestPropDiscoverDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st, pats := randomStoreAndPatterns(rng)
+	for _, p := range pats {
+		first := render(st.Discover(p))
+		for trial := 0; trial < 3; trial++ {
+			st.InvalidateCache()
+			if got := render(st.Discover(p)); got != first {
+				t.Fatalf("pattern %s: unstable results", p)
+			}
+		}
+	}
+}
+
+func render(ins []*Instance) string {
+	out := ""
+	for _, in := range ins {
+		out += in.Key.String() + ";"
+	}
+	return out
+}
+
+// Property: every discovered instance actually matches the pattern, and
+// every non-discovered instance does not (soundness + completeness
+// against MatchKey, the semantic definition).
+func TestPropDiscoverMatchesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	st, pats := randomStoreAndPatterns(rng)
+	for _, p := range pats {
+		got := make(map[*Instance]bool)
+		for _, in := range st.Discover(p) {
+			got[in] = true
+			if !p.MatchKey(in.Key) {
+				t.Fatalf("pattern %s returned non-matching key %s", p, in.Key)
+			}
+		}
+		for _, in := range st.Instances() {
+			if p.MatchKey(in.Key) && !got[in] {
+				t.Fatalf("pattern %s missed matching key %s", p, in.Key)
+			}
+		}
+	}
+}

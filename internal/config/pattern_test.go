@@ -1,0 +1,211 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePattern(t *testing.T) {
+	p, err := ParsePattern("Cloud::$CloudName.Tenant.SecretKey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segs) != 3 {
+		t.Fatalf("segments = %d", len(p.Segs))
+	}
+	if p.Segs[0].Name != "Cloud" || p.Segs[0].InstVar != "CloudName" {
+		t.Errorf("seg0 = %+v", p.Segs[0])
+	}
+	if !p.HasVars() {
+		t.Error("HasVars should be true")
+	}
+	if vars := p.Vars(); len(vars) != 1 || vars[0] != "CloudName" {
+		t.Errorf("Vars = %v", vars)
+	}
+
+	if _, err := ParsePattern(""); err == nil {
+		t.Error("empty pattern should error")
+	}
+	if _, err := ParsePattern("a..b"); err == nil {
+		t.Error("empty segment should error")
+	}
+}
+
+func TestPatternStringRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"Cloud.Tenant.SecretKey",
+		"Cloud::CO2test2.Tenant.SecretKey",
+		"Cloud::$CloudName.Tenant.SecretKey",
+		"Cloud[1].Tenant::SLB.SecretKey",
+		"*.SecretKey",
+		"*IP",
+		"Fabric[$i].Key",
+	} {
+		p, err := ParsePattern(s)
+		if err != nil {
+			t.Fatalf("ParsePattern(%q): %v", s, err)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+// Table 1 of the paper, expressed as match tests.
+func TestPatternMatchTable1(t *testing.T) {
+	keys := []Key{
+		K("Cloud::CO2test2", "Tenant::SLB", "SecretKey"),
+		K("Cloud::CO2test2", "Tenant::B", "SecretKey"),
+		K("Cloud::Other[1]", "Tenant::SLB", "SecretKey"),
+		K("Cloud::Other[1]", "Tenant::SLB", "ProxyIP"),
+		K("Fabric::f0", "BackupIP"),
+	}
+	cases := []struct {
+		pattern string
+		want    []int // indexes into keys that should match
+	}{
+		{"Cloud.Tenant.SecretKey", []int{0, 1, 2}},
+		{"Cloud::CO2test2.Tenant.SecretKey", []int{0, 1}},
+		{"Cloud[1].Tenant::SLB.SecretKey", []int{2}},
+		{"*.SecretKey", nil}, // two-segment pattern, three-segment keys
+		{"SecretKey", []int{0, 1, 2}},
+		{"*IP", []int{3, 4}},
+		{"Cloud.Tenant.*", []int{0, 1, 2, 3}},
+	}
+	for _, c := range cases {
+		p, err := ParsePattern(c.pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []int
+		for i, k := range keys {
+			if p.MatchKey(k) {
+				got = append(got, i)
+			}
+		}
+		if !equalInts(got, c.want) {
+			t.Errorf("pattern %q matched %v, want %v", c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestPatternWithVarsNeverMatches(t *testing.T) {
+	p := P("Cloud::$name", "Key")
+	if p.MatchKey(K("Cloud::X", "Key")) {
+		t.Error("unsubstituted variable must not match")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	p := P("Cloud::$name", "Rack[$i]", "Key")
+	env := map[string]string{"name": "East1", "i": "3"}
+	sub := p.Substitute(func(n string) (string, bool) { v, ok := env[n]; return v, ok })
+	if sub.String() != "Cloud::East1.Rack[3].Key" {
+		t.Errorf("Substitute = %q", sub)
+	}
+	if p.String() != "Cloud::$name.Rack[$i].Key" {
+		t.Errorf("Substitute mutated receiver: %q", p)
+	}
+	// Unbound variables stay.
+	sub2 := p.Substitute(func(n string) (string, bool) { return "", false })
+	if !sub2.HasVars() {
+		t.Error("unbound variables should remain")
+	}
+}
+
+func TestPrefixed(t *testing.T) {
+	p := P("StartIP")
+	pre := P("VLAN")
+	if got := p.Prefixed(pre).String(); got != "VLAN.StartIP" {
+		t.Errorf("Prefixed = %q", got)
+	}
+}
+
+func TestGlob(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"*", "", true},
+		{"*", "anything", true},
+		{"*IP", "ProxyIP", true},
+		{"*IP", "IPRange", false},
+		{"Proxy*", "ProxyIP", true},
+		{"P*IP", "ProxyIP", true},
+		{"P*x*IP", "ProxyIP", true}, // P·ro·x·y·IP
+		{"P*z*IP", "ProxyIP", false},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "acb", false},
+		{"**", "x", true},
+	}
+	for _, c := range cases {
+		if got := Glob(c.pat, c.s); got != c.want {
+			t.Errorf("Glob(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+// Property: a pattern with no wildcard is exact equality.
+func TestPropGlobExact(t *testing.T) {
+	f := func(s string) bool {
+		s = strings.ReplaceAll(s, "*", "")
+		return Glob(s, s) && (s == "" || !Glob(s, s+"x"))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: "prefix*" matches exactly strings with that prefix.
+func TestPropGlobPrefix(t *testing.T) {
+	f := func(prefix, rest string) bool {
+		prefix = strings.ReplaceAll(prefix, "*", "")
+		return Glob(prefix+"*", prefix+rest)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNameVariableSubstitution(t *testing.T) {
+	p, err := ParsePattern("Fabric.$ParamName")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Segs[1].NameVar != "ParamName" {
+		t.Fatalf("seg1 = %+v", p.Segs[1])
+	}
+	if p.String() != "Fabric.$ParamName" {
+		t.Errorf("String = %q", p.String())
+	}
+	if !p.HasVars() || p.Vars()[0] != "ParamName" {
+		t.Errorf("vars = %v", p.Vars())
+	}
+	if p.MatchKey(K("Fabric", "Timeout")) {
+		t.Error("unsubstituted name variable must not match")
+	}
+	sub := p.Substitute(func(n string) (string, bool) {
+		if n == "ParamName" {
+			return "Timeout", true
+		}
+		return "", false
+	})
+	if sub.String() != "Fabric.Timeout" || !sub.MatchKey(K("Fabric", "Timeout")) {
+		t.Errorf("substituted = %q", sub)
+	}
+}

@@ -1,0 +1,353 @@
+package config
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Store holds the unified representation of one or more configuration
+// sources and answers instance-discovery queries from the validation
+// engine. Discovery is the hot path (§5.2 reports >5 million queries in
+// some Azure validation runs), so the store maintains a trie over class
+// paths, per-class instance lists, and a query cache.
+//
+// A Store is safe for concurrent readers once loading has finished;
+// Add must not race with Discover.
+type Store struct {
+	instances []*Instance
+
+	byClass   map[string][]*Instance // class ID -> instances, load order
+	classes   []string               // class IDs, load order, deduplicated
+	classSegs map[string][]string    // class ID -> segment names
+	byLeaf    map[string][]string    // leaf name -> class IDs
+	trie      *trieNode              // class-name trie for wildcard queries
+	trieDirty bool
+
+	mu    sync.RWMutex
+	cache map[string][]*Instance // canonical pattern -> discovery result
+
+	// Stats counts discovery work for the Figure 4 / §5.2 ablations.
+	// Counters are atomic so parallel validation runs race-free.
+	Stats DiscoveryStats
+}
+
+// DiscoveryStats counts discovery activity with atomic counters.
+type DiscoveryStats struct {
+	Queries   atomic.Int64 // Discover calls
+	CacheHits atomic.Int64 // served from the cache
+	Scanned   atomic.Int64 // instances examined by naive scans
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byClass:   make(map[string][]*Instance),
+		classSegs: make(map[string][]string),
+		byLeaf:    make(map[string][]string),
+		cache:     make(map[string][]*Instance),
+	}
+}
+
+// Add inserts an instance into the store. Loading is single-threaded;
+// Add invalidates the discovery cache.
+func (st *Store) Add(in *Instance) {
+	st.instances = append(st.instances, in)
+	cp := classID(in.Key)
+	if _, seen := st.byClass[cp]; !seen {
+		st.classes = append(st.classes, cp)
+		names := make([]string, len(in.Key.Segs))
+		for i, seg := range in.Key.Segs {
+			names[i] = seg.Name
+		}
+		st.classSegs[cp] = names
+		leaf := in.Key.Leaf()
+		st.byLeaf[leaf] = append(st.byLeaf[leaf], cp)
+	}
+	st.byClass[cp] = append(st.byClass[cp], in)
+	st.trieDirty = true
+	if len(st.cache) > 0 {
+		st.cache = make(map[string][]*Instance)
+	}
+}
+
+// AddAll inserts a batch of instances.
+func (st *Store) AddAll(ins []*Instance) {
+	for _, in := range ins {
+		st.Add(in)
+	}
+}
+
+// Len returns the number of instances in the store.
+func (st *Store) Len() int { return len(st.instances) }
+
+// Instances returns all instances in load order. The slice is shared;
+// callers must not modify it.
+func (st *Store) Instances() []*Instance { return st.instances }
+
+// Classes returns all class paths (dotted display form) in load order.
+func (st *Store) Classes() []string {
+	out := make([]string, len(st.classes))
+	for i, id := range st.classes {
+		out[i] = displayClass(id)
+	}
+	return out
+}
+
+// ClassInstances returns the instances of one class, identified by its
+// dotted display path as returned by Classes. When a segment name itself
+// contains dots (some key-value stores use dotted parameter names), the
+// display path is ambiguous and the union of matching classes is
+// returned.
+func (st *Store) ClassInstances(classPath string) []*Instance {
+	var out []*Instance
+	for _, id := range st.classes {
+		if displayClass(id) == classPath {
+			out = append(out, st.byClass[id]...)
+		}
+	}
+	return out
+}
+
+// classSep separates segment names inside a class ID; it cannot appear in
+// configuration names.
+const classSep = "\x00"
+
+// classID builds the unambiguous class identity of a key.
+func classID(k Key) string {
+	parts := make([]string, len(k.Segs))
+	for i, s := range k.Segs {
+		parts[i] = s.Name
+	}
+	return joinSep(parts)
+}
+
+func joinSep(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += classSep
+		}
+		out += p
+	}
+	return out
+}
+
+func displayClass(id string) string {
+	out := make([]byte, 0, len(id))
+	for i := 0; i < len(id); i++ {
+		if id[i] == 0 {
+			out = append(out, '.')
+			continue
+		}
+		out = append(out, id[i])
+	}
+	return string(out)
+}
+
+func hasClassSep(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Discover finds all instances matching the pattern, using the class-path
+// indexes and the query cache. This is the optimized discovery
+// implementation (§5.2 optimization #1).
+func (st *Store) Discover(p Pattern) []*Instance {
+	st.Stats.Queries.Add(1)
+	keyStr := p.String()
+	st.mu.RLock()
+	if hit, ok := st.cache[keyStr]; ok {
+		st.mu.RUnlock()
+		st.Stats.CacheHits.Add(1)
+		return hit
+	}
+	st.mu.RUnlock()
+
+	res := st.discover(p)
+	st.mu.Lock()
+	st.cache[keyStr] = res
+	st.mu.Unlock()
+	return res
+}
+
+func (st *Store) discover(p Pattern) []*Instance {
+	if len(p.Segs) == 0 || p.HasVars() {
+		return nil
+	}
+	var classPaths []string
+	if len(p.Segs) == 1 {
+		classPaths = st.leafClassPaths(p.Segs[0].Name)
+	} else {
+		classPaths = st.matchClassPaths(p)
+	}
+	var out []*Instance
+	for _, cp := range classPaths {
+		for _, in := range st.byClass[cp] {
+			if p.MatchKey(in.Key) {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// leafClassPaths returns the class paths whose final segment matches the
+// (possibly wildcarded) leaf name.
+func (st *Store) leafClassPaths(leafPat string) []string {
+	if !hasGlob(leafPat) {
+		return st.byLeaf[leafPat]
+	}
+	var out []string
+	for leaf, cps := range st.byLeaf {
+		if Glob(leafPat, leaf) {
+			out = append(out, cps...)
+		}
+	}
+	sort.Strings(out) // map iteration order is random; keep results stable
+	return out
+}
+
+// matchClassPaths walks the class-path trie to find classes whose segment
+// names match the pattern.
+func (st *Store) matchClassPaths(p Pattern) []string {
+	st.buildTrie()
+	var out []string
+	st.trie.match(p.Segs, 0, &out)
+	return out
+}
+
+// DiscoverNaive is the paper's initial discovery implementation, kept for
+// the §5.2 ablation benchmark: scan every instance, filter by segment
+// count, then compare segment by segment. It bypasses all indexes and the
+// cache.
+func (st *Store) DiscoverNaive(p Pattern) []*Instance {
+	st.Stats.Queries.Add(1)
+	scanned := 0
+	var out []*Instance
+	for _, in := range st.instances {
+		scanned++
+		if len(p.Segs) == 1 {
+			if p.Segs[0].matchSeg(in.Key.Segs[len(in.Key.Segs)-1]) {
+				out = append(out, in)
+			}
+			continue
+		}
+		if len(p.Segs) != len(in.Key.Segs) {
+			continue
+		}
+		if p.MatchKey(in.Key) {
+			out = append(out, in)
+		}
+	}
+	st.Stats.Scanned.Add(int64(scanned))
+	return out
+}
+
+// ResetStats zeroes the discovery counters.
+func (st *Store) ResetStats() {
+	st.Stats.Queries.Store(0)
+	st.Stats.CacheHits.Store(0)
+	st.Stats.Scanned.Store(0)
+}
+
+// InvalidateCache clears the discovery cache (used by benchmarks to
+// measure cold discovery).
+func (st *Store) InvalidateCache() {
+	st.mu.Lock()
+	st.cache = make(map[string][]*Instance)
+	st.mu.Unlock()
+}
+
+func hasGlob(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '*' {
+			return true
+		}
+	}
+	return false
+}
+
+// trieNode is a node in the class-path trie. Children are keyed by exact
+// segment name; wildcard pattern segments fan out over all children.
+type trieNode struct {
+	children map[string]*trieNode
+	// classPath is nonempty when a class terminates at this node.
+	classPath string
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{children: make(map[string]*trieNode)}
+}
+
+// buildTrie (re)builds the class-path trie if stale.
+func (st *Store) buildTrie() {
+	if !st.trieDirty && st.trie != nil {
+		return
+	}
+	root := newTrieNode()
+	for _, cp := range st.classes {
+		node := root
+		for _, name := range st.classSegs[cp] {
+			child, ok := node.children[name]
+			if !ok {
+				child = newTrieNode()
+				node.children[name] = child
+			}
+			node = child
+		}
+		node.classPath = cp
+	}
+	st.trie = root
+	st.trieDirty = false
+}
+
+// match descends the trie along the pattern segments, collecting class
+// paths that terminate exactly at pattern length.
+func (n *trieNode) match(segs []PatSeg, depth int, out *[]string) {
+	if depth == len(segs) {
+		if n.classPath != "" {
+			*out = append(*out, n.classPath)
+		}
+		return
+	}
+	name := segs[depth].Name
+	if !hasGlob(name) {
+		if child, ok := n.children[name]; ok {
+			child.match(segs, depth+1, out)
+		}
+		return
+	}
+	// Wildcard segment: try all children with matching names, in sorted
+	// order for deterministic results.
+	names := make([]string, 0, len(n.children))
+	for cn := range n.children {
+		if Glob(name, cn) {
+			names = append(names, cn)
+		}
+	}
+	sort.Strings(names)
+	for _, cn := range names {
+		n.children[cn].match(segs, depth+1, out)
+	}
+}
+
+// GroupByPrefix partitions instances by the canonical rendering of their
+// first n key segments. It implements compartment isolation (§4.2.2):
+// instances under the same compartment instance share a group. Group
+// order follows first appearance.
+func GroupByPrefix(ins []*Instance, n int) (order []string, groups map[string][]*Instance) {
+	groups = make(map[string][]*Instance)
+	for _, in := range ins {
+		p := in.Key.PrefixString(n)
+		if _, ok := groups[p]; !ok {
+			order = append(order, p)
+		}
+		groups[p] = append(groups[p], in)
+	}
+	return order, groups
+}

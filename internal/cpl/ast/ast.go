@@ -1,0 +1,505 @@
+// Package ast defines the abstract syntax tree for CPL specifications.
+// The shapes follow the grammar in Listing 4 of the paper: statements are
+// commands or predicates; predicates are built recursively from primitives
+// with &, |, ~, quantifiers, if/else, namespace and compartment blocks;
+// domains are configuration references, transformed domains, binary
+// expressions over domains, or compartment-scoped domains.
+package ast
+
+import (
+	"strings"
+
+	"confvalley/internal/config"
+	"confvalley/internal/cpl/token"
+	"confvalley/internal/vtype"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---- Statements ----
+
+// Stmt is a top-level CPL statement.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+type stmtBase struct{ P token.Pos }
+
+func (b stmtBase) Pos() token.Pos { return b.P }
+func (stmtBase) stmt()            {}
+
+// LoadStmt provides a configuration source for the session:
+// load 'xml' '/path/to/settings' [as Fabric].
+type LoadStmt struct {
+	stmtBase
+	Driver string
+	Source string
+	Scope  string // optional scope prefix; empty if none
+}
+
+// IncludeStmt adds the statements of another specification file:
+// include 'type_checks.prop'.
+type IncludeStmt struct {
+	stmtBase
+	Path string
+}
+
+// LetStmt defines a named predicate macro:
+// let UniqueIP := unique & ip.
+type LetStmt struct {
+	stmtBase
+	Name string
+	Pred Pred
+}
+
+// PolicyStmt sets a validation policy option:
+// policy on_violation 'continue'.
+type PolicyStmt struct {
+	stmtBase
+	Name  string
+	Value string
+}
+
+// GetStmt prints the instances of a domain (console convenience).
+type GetStmt struct {
+	stmtBase
+	Domain Domain
+}
+
+// SpecStmt is the workhorse statement: domain -> predicate, with an
+// optional quantifier (default ∀).
+type SpecStmt struct {
+	stmtBase
+	Quant  Quant
+	Domain Domain
+	Pred   Pred
+	// Message overrides the auto-generated error message for this check
+	// (§4.4): "$X -> int message 'timeout must be a number'".
+	Message string
+	// Text is the original source line, kept for reports.
+	Text string
+}
+
+// IfStmt guards statements with a condition:
+// if (<predicate statement>) { ... } else { ... }.
+// When the condition's domain is a simple reference, the body is evaluated
+// once per distinct value with the reference's leaf name bound as a
+// variable (the Listing 5 $CloudName idiom).
+type IfStmt struct {
+	stmtBase
+	Cond *SpecStmt
+	Then []Stmt
+	Else []Stmt
+}
+
+// BlockStmt scopes statements under a namespace or compartment.
+type BlockStmt struct {
+	stmtBase
+	Kind  BlockKind
+	Scope config.Pattern
+	Body  []Stmt
+}
+
+// BlockKind distinguishes namespace from compartment blocks.
+type BlockKind int
+
+// Block kinds.
+const (
+	BlockNamespace BlockKind = iota
+	BlockCompartment
+)
+
+// Quant is a CPL quantifier.
+type Quant int
+
+// Quantifiers. QuantAll (∀) is the default.
+const (
+	QuantAll    Quant = iota // every element must satisfy the predicate
+	QuantExists              // at least one element must satisfy it
+	QuantOne                 // exactly one element must satisfy it
+)
+
+// String returns the CPL spelling.
+func (q Quant) String() string {
+	switch q {
+	case QuantExists:
+		return "exists"
+	case QuantOne:
+		return "one"
+	default:
+		return "all"
+	}
+}
+
+// ---- Domains ----
+
+// Domain produces the elements a predicate is evaluated over.
+type Domain interface {
+	Node
+	domain()
+}
+
+type domainBase struct{ P token.Pos }
+
+func (b domainBase) Pos() token.Pos { return b.P }
+func (domainBase) domain()          {}
+
+// Ref is a configuration reference: $Cloud.Tenant.SecretKey.
+type Ref struct {
+	domainBase
+	Pattern config.Pattern
+}
+
+// PipeVar is the pipeline variable $_ referring to the previous step's
+// result (§4.2.3).
+type PipeVar struct {
+	domainBase
+}
+
+// Pipe sends a source domain through transformation steps:
+// $X -> split(':') -> at(0).
+type Pipe struct {
+	domainBase
+	Src   Domain
+	Steps []*Step
+}
+
+// Step is one pipeline stage: a transformation, optionally guarded
+// ("if (nonempty) split('-')" applies the transform only to elements
+// satisfying the guard; others are dropped from the pipeline).
+type Step struct {
+	P     token.Pos
+	Guard Pred // nil when unguarded
+	T     *Transform
+}
+
+// Pos returns the step position.
+func (s *Step) Pos() token.Pos { return s.P }
+
+// Transform is a named transformation with arguments: split(','), at(0),
+// foreach($MachinePool::$_.VipRanges), or a tuple constructor
+// [at(0), at(1)].
+type Transform struct {
+	P    token.Pos
+	Name string // "tuple" for the [a, b] constructor
+	Args []Expr
+}
+
+// Pos returns the transform position.
+func (t *Transform) Pos() token.Pos { return t.P }
+
+// BinaryDomain combines two domains with an arithmetic operator; the
+// result domain is the operator applied pairwise (§4.2.1 transformation
+// over multiple domains).
+type BinaryDomain struct {
+	domainBase
+	Op   token.Kind // PLUS, MINUS, STAR, SLASH
+	L, R Domain
+}
+
+// CompartmentDomain is the inline form #[Scope] $X# restricting pairing to
+// compartment instances (Listing 5's fill-factor example).
+type CompartmentDomain struct {
+	domainBase
+	Scope config.Pattern
+	Inner Domain
+}
+
+// ---- Predicates ----
+
+// Pred is a boolean property of domain elements.
+type Pred interface {
+	Node
+	pred()
+}
+
+type predBase struct{ P token.Pos }
+
+func (b predBase) Pos() token.Pos { return b.P }
+func (predBase) pred()            {}
+
+// And, Or, Not combine predicates.
+type And struct {
+	predBase
+	L, R Pred
+}
+
+// Or is disjunction.
+type Or struct {
+	predBase
+	L, R Pred
+}
+
+// Not is negation (~).
+type Not struct {
+	predBase
+	X Pred
+}
+
+// QuantPred applies a quantifier to an inner predicate over the current
+// element set, e.g. "-> exists [$StartIP, $EndIP]".
+type QuantPred struct {
+	predBase
+	Q Quant
+	X Pred
+}
+
+// IfPred is predicate-level conditional: if (p) q [else r].
+type IfPred struct {
+	predBase
+	Cond, Then, Else Pred // Else may be nil
+}
+
+// TypePred asserts the element conforms to a value type: int, ip, path...
+type TypePred struct {
+	predBase
+	T vtype.Type
+}
+
+// Prim is a niladic primitive predicate: nonempty, unique, consistent,
+// ordered, exists (path existence), reachable.
+type Prim struct {
+	predBase
+	Name string
+}
+
+// Match asserts the element matches a pattern. Patterns are glob-style by
+// default; a pattern enclosed in slashes (/re/) is a regular expression.
+type Match struct {
+	predBase
+	Pattern string
+}
+
+// Range asserts the element lies in [Lo, Hi] inclusive. Bounds may be
+// literals or domain references (paired per compartment instance).
+type Range struct {
+	predBase
+	Lo, Hi Expr
+}
+
+// Enum asserts the element equals one of the listed values. Elements may
+// be literals or domain references ("machinepool is one of the defined
+// machinepool names").
+type Enum struct {
+	predBase
+	Elems []Expr
+}
+
+// Rel relates the current element to an expression: == 'x', <= $Other.
+// When used at statement level ($A <= $B) the engine pairs the element
+// sets of both sides.
+type Rel struct {
+	predBase
+	Op  token.Kind
+	Rhs Expr
+}
+
+// MacroRef references a let-defined predicate: @UniqueCIDR.
+type MacroRef struct {
+	predBase
+	Name string
+}
+
+// Call is an extension predicate invocation with arguments, dispatched
+// through the predicate registry (§4.2.6 plug-ins).
+type Call struct {
+	predBase
+	Name string
+	Args []Expr
+}
+
+// ---- Expressions ----
+
+// Expr is a scalar-producing expression usable in predicate arguments:
+// literals, domain references, or the pipeline variable.
+type Expr interface {
+	Node
+	expr()
+}
+
+type exprBase struct{ P token.Pos }
+
+func (b exprBase) Pos() token.Pos { return b.P }
+func (exprBase) expr()            {}
+
+// Lit is a literal string, integer or float.
+type Lit struct {
+	exprBase
+	Kind token.Kind // STRING, INT or FLOAT
+	Text string
+}
+
+// DomainExpr wraps a domain (usually a Ref) in expression position.
+type DomainExpr struct {
+	exprBase
+	D Domain
+}
+
+// ---- Rendering ----
+
+// Render reconstructs approximate CPL source for a statement; used in
+// reports and by the inference engine's generated specifications.
+func Render(n Node) string {
+	var b strings.Builder
+	render(n, &b)
+	return b.String()
+}
+
+func render(n Node, b *strings.Builder) {
+	switch t := n.(type) {
+	case *LoadStmt:
+		b.WriteString("load '" + t.Driver + "' '" + t.Source + "'")
+		if t.Scope != "" {
+			b.WriteString(" as " + t.Scope)
+		}
+	case *IncludeStmt:
+		b.WriteString("include '" + t.Path + "'")
+	case *LetStmt:
+		b.WriteString("let " + t.Name + " := ")
+		render(t.Pred, b)
+	case *PolicyStmt:
+		b.WriteString("policy " + t.Name + " '" + t.Value + "'")
+	case *GetStmt:
+		b.WriteString("get ")
+		render(t.Domain, b)
+	case *SpecStmt:
+		if t.Quant != QuantAll {
+			b.WriteString(t.Quant.String() + " ")
+		}
+		render(t.Domain, b)
+		b.WriteString(" -> ")
+		render(t.Pred, b)
+		if t.Message != "" {
+			b.WriteString(" message '" + t.Message + "'")
+		}
+	case *IfStmt:
+		b.WriteString("if (")
+		render(t.Cond, b)
+		b.WriteString(") { ... }")
+		if t.Else != nil {
+			b.WriteString(" else { ... }")
+		}
+	case *BlockStmt:
+		if t.Kind == BlockNamespace {
+			b.WriteString("namespace ")
+		} else {
+			b.WriteString("compartment ")
+		}
+		b.WriteString(t.Scope.String() + " { ... }")
+	case *Ref:
+		b.WriteString("$" + t.Pattern.String())
+	case *PipeVar:
+		b.WriteString("$_")
+	case *Pipe:
+		render(t.Src, b)
+		for _, s := range t.Steps {
+			b.WriteString(" -> ")
+			if s.Guard != nil {
+				b.WriteString("if (")
+				render(s.Guard, b)
+				b.WriteString(") ")
+			}
+			renderTransform(s.T, b)
+		}
+	case *BinaryDomain:
+		render(t.L, b)
+		b.WriteString(" " + t.Op.String() + " ")
+		render(t.R, b)
+	case *CompartmentDomain:
+		b.WriteString("#[" + t.Scope.String() + "] ")
+		render(t.Inner, b)
+		b.WriteString("#")
+	case *And:
+		render(t.L, b)
+		b.WriteString(" & ")
+		render(t.R, b)
+	case *Or:
+		render(t.L, b)
+		b.WriteString(" | ")
+		render(t.R, b)
+	case *Not:
+		b.WriteString("~")
+		render(t.X, b)
+	case *QuantPred:
+		b.WriteString(t.Q.String() + " ")
+		render(t.X, b)
+	case *IfPred:
+		b.WriteString("if (")
+		render(t.Cond, b)
+		b.WriteString(") ")
+		render(t.Then, b)
+		if t.Else != nil {
+			b.WriteString(" else ")
+			render(t.Else, b)
+		}
+	case *TypePred:
+		b.WriteString(t.T.String())
+	case *Prim:
+		b.WriteString(t.Name)
+	case *Match:
+		b.WriteString("match('" + t.Pattern + "')")
+	case *Range:
+		b.WriteString("[")
+		render(t.Lo, b)
+		b.WriteString(", ")
+		render(t.Hi, b)
+		b.WriteString("]")
+	case *Enum:
+		b.WriteString("{")
+		for i, e := range t.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			render(e, b)
+		}
+		b.WriteString("}")
+	case *Rel:
+		b.WriteString(t.Op.String() + " ")
+		render(t.Rhs, b)
+	case *MacroRef:
+		b.WriteString("@" + t.Name)
+	case *Call:
+		b.WriteString(t.Name + "(")
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			render(a, b)
+		}
+		b.WriteString(")")
+	case *Lit:
+		if t.Kind == token.STRING {
+			b.WriteString("'" + t.Text + "'")
+		} else {
+			b.WriteString(t.Text)
+		}
+	case *DomainExpr:
+		render(t.D, b)
+	}
+}
+
+func renderTransform(t *Transform, b *strings.Builder) {
+	if t.Name == "tuple" {
+		b.WriteString("[")
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			render(a, b)
+		}
+		b.WriteString("]")
+		return
+	}
+	b.WriteString(t.Name + "(")
+	for i, a := range t.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		render(a, b)
+	}
+	b.WriteString(")")
+}

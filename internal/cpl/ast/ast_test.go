@@ -1,0 +1,126 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"confvalley/internal/config"
+	"confvalley/internal/cpl/token"
+	"confvalley/internal/vtype"
+)
+
+func lit(s string) *Lit       { return &Lit{Kind: token.STRING, Text: s} }
+func intLit(s string) *Lit    { return &Lit{Kind: token.INT, Text: s} }
+func ref(segs ...string) *Ref { return &Ref{Pattern: config.P(segs...)} }
+
+func TestRenderCommands(t *testing.T) {
+	cases := []struct {
+		node Node
+		want string
+	}{
+		{&LoadStmt{Driver: "xml", Source: "/p"}, "load 'xml' '/p'"},
+		{&LoadStmt{Driver: "kv", Source: "s", Scope: "Fabric"}, "load 'kv' 's' as Fabric"},
+		{&IncludeStmt{Path: "a.cpl"}, "include 'a.cpl'"},
+		{&LetStmt{Name: "M", Pred: &Prim{Name: "unique"}}, "let M := unique"},
+		{&PolicyStmt{Name: "severity", Value: "error"}, "policy severity 'error'"},
+		{&GetStmt{Domain: ref("Fabric", "X")}, "get $Fabric.X"},
+	}
+	for _, c := range cases {
+		if got := Render(c.node); got != c.want {
+			t.Errorf("Render = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRenderPredicates(t *testing.T) {
+	cases := []struct {
+		node Node
+		want string
+	}{
+		{&And{L: &TypePred{T: vtype.Scalar(vtype.KindInt)}, R: &Prim{Name: "nonempty"}}, "int & nonempty"},
+		{&Or{L: &Not{X: &Prim{Name: "nonempty"}}, R: &MacroRef{Name: "U"}}, "~nonempty | @U"},
+		{&QuantPred{Q: QuantExists, X: &Range{Lo: intLit("1"), Hi: intLit("5")}}, "exists [1, 5]"},
+		{&IfPred{Cond: &Prim{Name: "nonempty"}, Then: &TypePred{T: vtype.Scalar(vtype.KindIP)}, Else: &Prim{Name: "consistent"}},
+			"if (nonempty) ip else consistent"},
+		{&Match{Pattern: "*.vhd"}, "match('*.vhd')"},
+		{&Enum{Elems: []Expr{lit("a"), lit("b")}}, "{'a', 'b'}"},
+		{&Rel{Op: token.LE, Rhs: &DomainExpr{D: ref("B")}}, "<= $B"},
+		{&Call{Name: "incidr", Args: []Expr{lit("10.0.0.0/8")}}, "incidr('10.0.0.0/8')"},
+		{&TypePred{T: vtype.ListOf(vtype.KindIP)}, "list(ip)"},
+	}
+	for _, c := range cases {
+		if got := Render(c.node); got != c.want {
+			t.Errorf("Render = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRenderDomains(t *testing.T) {
+	pipe := &Pipe{
+		Src: ref("X"),
+		Steps: []*Step{
+			{T: &Transform{Name: "split", Args: []Expr{lit(":")}}},
+			{Guard: &Prim{Name: "nonempty"}, T: &Transform{Name: "at", Args: []Expr{intLit("0")}}},
+			{T: &Transform{Name: "tuple", Args: []Expr{lit("a"), lit("b")}}},
+		},
+	}
+	want := "$X -> split(':') -> if (nonempty) at(0) -> ['a', 'b']"
+	if got := Render(pipe); got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+	bd := &BinaryDomain{Op: token.MINUS, L: ref("Max"), R: ref("Min")}
+	if got := Render(bd); got != "$Max - $Min" {
+		t.Errorf("Render = %q", got)
+	}
+	cd := &CompartmentDomain{Scope: config.P("DC"), Inner: ref("Pool", "F")}
+	if got := Render(cd); got != "#[DC] $Pool.F#" {
+		t.Errorf("Render = %q", got)
+	}
+	if got := Render(&PipeVar{}); got != "$_" {
+		t.Errorf("Render = %q", got)
+	}
+}
+
+func TestRenderStatements(t *testing.T) {
+	spec := &SpecStmt{
+		Quant:  QuantOne,
+		Domain: ref("Role"),
+		Pred:   &Rel{Op: token.EQ, Rhs: lit("primary")},
+	}
+	if got := Render(spec); got != "one $Role -> == 'primary'" {
+		t.Errorf("Render = %q", got)
+	}
+	spec.Message = "exactly one primary"
+	if got := Render(spec); !strings.HasSuffix(got, "message 'exactly one primary'") {
+		t.Errorf("Render = %q", got)
+	}
+	ifStmt := &IfStmt{Cond: spec, Then: []Stmt{spec}, Else: []Stmt{spec}}
+	if got := Render(ifStmt); !strings.Contains(got, "if (") || !strings.Contains(got, "else") {
+		t.Errorf("Render = %q", got)
+	}
+	block := &BlockStmt{Kind: BlockCompartment, Scope: config.P("Cluster"), Body: []Stmt{spec}}
+	if got := Render(block); !strings.HasPrefix(got, "compartment Cluster") {
+		t.Errorf("Render = %q", got)
+	}
+	ns := &BlockStmt{Kind: BlockNamespace, Scope: config.P("r", "s")}
+	if got := Render(ns); !strings.HasPrefix(got, "namespace r.s") {
+		t.Errorf("Render = %q", got)
+	}
+}
+
+func TestQuantString(t *testing.T) {
+	if QuantAll.String() != "all" || QuantExists.String() != "exists" || QuantOne.String() != "one" {
+		t.Error("quantifier spellings wrong")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	s := &Step{P: token.Pos{Line: 3, Col: 7}}
+	if s.Pos().Line != 3 {
+		t.Error("step position lost")
+	}
+	tr := &Transform{P: token.Pos{Line: 2, Col: 1}}
+	if tr.Pos().Col != 1 {
+		t.Error("transform position lost")
+	}
+}

@@ -1,0 +1,68 @@
+package lexer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"confvalley/internal/cpl/token"
+)
+
+// Robustness: the lexer must never panic and must always terminate, for
+// arbitrary byte soup. Errors are fine; crashes are not.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []byte("abc$->:=&|~()[]{}#@'\"0123456789 \n\t\\*.<>=!∃∀→≤")
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(60)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panicked on %q: %v", b, r)
+				}
+			}()
+			toks, err := Tokenize(string(b))
+			if err == nil && (len(toks) == 0 || toks[len(toks)-1].Kind != token.EOF) {
+				t.Fatalf("tokenize of %q did not end with EOF", b)
+			}
+		}()
+	}
+}
+
+// Robustness: invalid UTF-8 and control characters error or tokenize,
+// never hang.
+func TestLexerBinaryInput(t *testing.T) {
+	inputs := []string{
+		"\x00\x01\x02",
+		"\xff\xfe",
+		strings.Repeat("\x80", 100),
+		"a\x00b",
+	}
+	for _, in := range inputs {
+		if _, err := Tokenize(in); err == nil {
+			t.Errorf("binary input %q should error", in)
+		}
+	}
+}
+
+// Property: tokenizing the same input twice yields identical tokens.
+func TestLexerDeterministic(t *testing.T) {
+	src := "$Fabric.X -> int & [5,15] | @Macro // c\ncompartment C { $a <= $b }"
+	a, err1 := Tokenize(src)
+	b, err2 := Tokenize(src)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("token %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package lexer implements the hand-rolled scanner for CPL. The original
+// system used ANTLR; this implementation is a small single-pass scanner
+// with no dependencies beyond the standard library.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+
+	"confvalley/internal/cpl/token"
+)
+
+// Lexer scans CPL source text into tokens.
+type Lexer struct {
+	src  string
+	off  int // current byte offset
+	line int
+	col  int
+}
+
+// New returns a lexer over the source text.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("cpl:%s: %s", e.Pos, e.Msg) }
+
+// Tokenize scans the whole input, returning all tokens ending with EOF.
+// Consecutive newlines are collapsed into one NEWLINE token.
+func Tokenize(src string) ([]token.Token, error) {
+	lx := New(src)
+	var out []token.Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == token.NEWLINE && len(out) > 0 && out[len(out)-1].Kind == token.NEWLINE {
+			continue
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) pos() token.Pos { return token.Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off:])
+	return r
+}
+
+func (lx *Lexer) peekAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *Lexer) advance() rune {
+	r, size := utf8.DecodeRuneInString(lx.src[lx.off:])
+	lx.off += size
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col += size
+	}
+	return r
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (token.Token, error) {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	r := lx.peek()
+	switch {
+	case r == '\n':
+		lx.advance()
+		return token.Token{Kind: token.NEWLINE, Pos: pos}, nil
+	case r == '\'' || r == '"':
+		return lx.scanString(pos)
+	case isDigit(r):
+		return lx.scanNumber(pos)
+	case isWordRune(r):
+		return lx.scanWord(pos)
+	}
+	return lx.scanOperator(pos)
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r':
+			lx.advance()
+		case r == '/' && lx.peekAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peekAt(1) == '*':
+			lx.advance()
+			lx.advance()
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *Lexer) scanString(pos token.Pos) (token.Token, error) {
+	quote := lx.advance()
+	var b strings.Builder
+	for {
+		if lx.off >= len(lx.src) || lx.peek() == '\n' {
+			return token.Token{}, &Error{Pos: pos, Msg: "unterminated string literal"}
+		}
+		r := lx.advance()
+		if r == quote {
+			return token.Token{Kind: token.STRING, Text: b.String(), Pos: pos}, nil
+		}
+		if r == '\\' && lx.off < len(lx.src) {
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '\'', '"':
+				b.WriteRune(esc)
+			default:
+				return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("unknown escape \\%c", esc)}
+			}
+			continue
+		}
+		b.WriteRune(r)
+	}
+}
+
+func (lx *Lexer) scanNumber(pos token.Pos) (token.Token, error) {
+	start := lx.off
+	kind := token.INT
+	if lx.peek() == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHex(byte(lx.peek())) {
+			lx.advance()
+		}
+		return token.Token{Kind: token.INT, Text: lx.src[start:lx.off], Pos: pos}, nil
+	}
+	for lx.off < len(lx.src) && isDigit(lx.peek()) {
+		lx.advance()
+	}
+	// A dot starts a fraction only when followed by a digit; otherwise it
+	// is the qid separator (e.g. Cloud[1].Key after an INT in brackets is
+	// impossible, but "1.5" vs "a.1" must disambiguate).
+	if lx.peek() == '.' && isDigit(rune(lx.peekAt(1))) {
+		kind = token.FLOAT
+		lx.advance()
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	// Numbers directly followed by word characters are identifiers that
+	// begin with digits (e.g. a key named "2X"): extend into a word.
+	if lx.off < len(lx.src) && isWordRune(lx.peek()) && kind == token.INT {
+		for lx.off < len(lx.src) && isWordRune(lx.peek()) {
+			lx.advance()
+		}
+		return token.Token{Kind: token.IDENT, Text: lx.src[start:lx.off], Pos: pos}, nil
+	}
+	return token.Token{Kind: kind, Text: lx.src[start:lx.off], Pos: pos}, nil
+}
+
+func (lx *Lexer) scanWord(pos token.Pos) (token.Token, error) {
+	start := lx.off
+	for lx.off < len(lx.src) && isWordRune(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if text == "*" {
+		// A lone star: wildcard identifier when followed by '.' or '::'
+		// or end of a qid; multiplication operator otherwise. The parser
+		// distinguishes by context; emit STAR and let it decide — except
+		// the common "*.Key" and "*IP" forms are already merged above.
+		return token.Token{Kind: token.STAR, Text: "*", Pos: pos}, nil
+	}
+	if kw, ok := token.Keywords[text]; ok {
+		return token.Token{Kind: kw, Text: text, Pos: pos}, nil
+	}
+	return token.Token{Kind: token.IDENT, Text: text, Pos: pos}, nil
+}
+
+func (lx *Lexer) scanOperator(pos token.Pos) (token.Token, error) {
+	r := lx.advance()
+	two := func(next byte, yes, no token.Kind) token.Token {
+		if lx.off < len(lx.src) && lx.src[lx.off] == next {
+			lx.advance()
+			return token.Token{Kind: yes, Pos: pos}
+		}
+		return token.Token{Kind: no, Pos: pos}
+	}
+	switch r {
+	case '$':
+		return token.Token{Kind: token.DOLLAR, Pos: pos}, nil
+	case '@':
+		return token.Token{Kind: token.AT, Pos: pos}, nil
+	case '#':
+		return token.Token{Kind: token.HASH, Pos: pos}, nil
+	case '-':
+		return two('>', token.ARROW, token.MINUS), nil
+	case ':':
+		if lx.off < len(lx.src) {
+			switch lx.src[lx.off] {
+			case '=':
+				lx.advance()
+				return token.Token{Kind: token.ASSIGN, Pos: pos}, nil
+			case ':':
+				lx.advance()
+				return token.Token{Kind: token.DCOLON, Pos: pos}, nil
+			}
+		}
+		return token.Token{}, &Error{Pos: pos, Msg: "unexpected ':' (did you mean '::' or ':=' ?)"}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}, nil
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}, nil
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}, nil
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}, nil
+	case '[':
+		return token.Token{Kind: token.LBRACK, Pos: pos}, nil
+	case ']':
+		return token.Token{Kind: token.RBRACK, Pos: pos}, nil
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}, nil
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}, nil
+	case '&':
+		return token.Token{Kind: token.AMP, Pos: pos}, nil
+	case '|':
+		return token.Token{Kind: token.PIPE, Pos: pos}, nil
+	case '~':
+		return token.Token{Kind: token.TILDE, Pos: pos}, nil
+	case '=':
+		if lx.off < len(lx.src) && lx.src[lx.off] == '=' {
+			lx.advance()
+			return token.Token{Kind: token.EQ, Pos: pos}, nil
+		}
+		return token.Token{}, &Error{Pos: pos, Msg: "unexpected '=' (comparison is '==')"}
+	case '!':
+		if lx.off < len(lx.src) && lx.src[lx.off] == '=' {
+			lx.advance()
+			return token.Token{Kind: token.NEQ, Pos: pos}, nil
+		}
+		return token.Token{}, &Error{Pos: pos, Msg: "unexpected '!'"}
+	case '<':
+		return two('=', token.LE, token.LT), nil
+	case '>':
+		return two('=', token.GE, token.GT), nil
+	case '+':
+		return token.Token{Kind: token.PLUS, Pos: pos}, nil
+	case '/':
+		return token.Token{Kind: token.SLASH, Pos: pos}, nil
+	// Mathematical spellings used in the paper.
+	case '→':
+		return token.Token{Kind: token.ARROW, Pos: pos}, nil
+	case '≤':
+		return token.Token{Kind: token.LE, Pos: pos}, nil
+	case '≥':
+		return token.Token{Kind: token.GE, Pos: pos}, nil
+	case '≠':
+		return token.Token{Kind: token.NEQ, Pos: pos}, nil
+	case '∀':
+		return token.Token{Kind: token.ALL, Text: "all", Pos: pos}, nil
+	case '∃':
+		if lx.peek() == '!' {
+			lx.advance()
+			return token.Token{Kind: token.ONE, Text: "one", Pos: pos}, nil
+		}
+		return token.Token{Kind: token.EXISTS, Text: "exists", Pos: pos}, nil
+	case '¬':
+		return token.Token{Kind: token.TILDE, Pos: pos}, nil
+	}
+	return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", r)}
+}
+
+// isWordRune reports whether r can appear inside a CPL word. '*' is a
+// wildcard inside configuration names ("*IP") and '_' appears in names and
+// in the pipeline variable "$_".
+func isWordRune(r rune) bool {
+	return r == '_' || r == '*' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || isDigit(r)
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,196 @@
+package lexer
+
+import (
+	"testing"
+
+	"confvalley/internal/cpl/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func eqKinds(a []token.Kind, b ...token.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, "$OSBuildPath -> path & exists")
+	if !eqKinds(got, token.DOLLAR, token.IDENT, token.ARROW, token.IDENT, token.AMP, token.EXISTS, token.EOF) {
+		t.Errorf("kinds = %v", got)
+	}
+}
+
+func TestOperatorsAndBrackets(t *testing.T) {
+	got := kinds(t, "~a | (b & c) == != <= >= < > [1,2] {x} @m")
+	want := []token.Kind{
+		token.TILDE, token.IDENT, token.PIPE, token.LPAREN, token.IDENT, token.AMP,
+		token.IDENT, token.RPAREN, token.EQ, token.NEQ, token.LE, token.GE,
+		token.LT, token.GT, token.LBRACK, token.INT, token.COMMA, token.INT,
+		token.RBRACK, token.LBRACE, token.IDENT, token.RBRACE, token.AT,
+		token.IDENT, token.EOF,
+	}
+	if !eqKinds(got, want...) {
+		t.Errorf("kinds = %v", got)
+	}
+}
+
+func TestUnicodeSpellings(t *testing.T) {
+	a := kinds(t, "$X → int & [5,15]")
+	b := kinds(t, "$X -> int & [5,15]")
+	if !eqKinds(a, b...) {
+		t.Errorf("unicode arrow differs: %v vs %v", a, b)
+	}
+	got := kinds(t, "∀ x ∃ y ∃! z ≤ ≥ ≠")
+	want := []token.Kind{token.ALL, token.IDENT, token.EXISTS, token.IDENT,
+		token.ONE, token.IDENT, token.LE, token.GE, token.NEQ, token.EOF}
+	if !eqKinds(got, want...) {
+		t.Errorf("kinds = %v", got)
+	}
+}
+
+func TestWildcardWords(t *testing.T) {
+	toks, err := Tokenize("*IP *.SecretKey a*b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.IDENT || toks[0].Text != "*IP" {
+		t.Errorf("tok0 = %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != token.STAR {
+		t.Errorf("lone star before dot = %v", toks[1].Kind)
+	}
+	if toks[2].Kind != token.DOT {
+		t.Errorf("dot = %v", toks[2].Kind)
+	}
+	if toks[4].Kind != token.IDENT || toks[4].Text != "a*b" {
+		t.Errorf("infix wildcard = %v %q", toks[4].Kind, toks[4].Text)
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	toks, err := Tokenize(`'single' "double" 'a\'b' 'x\ny'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"single", "double", "a'b", "x\ny"}
+	for i, w := range want {
+		if toks[i].Kind != token.STRING || toks[i].Text != w {
+			t.Errorf("tok%d = %v %q, want STRING %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Error("unterminated string should error")
+	}
+	if _, err := Tokenize("'bad\nline'"); err == nil {
+		t.Error("newline in string should error")
+	}
+	if _, err := Tokenize(`'bad \q escape'`); err == nil {
+		t.Error("unknown escape should error")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("42 3.14 0xFF 2X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.INT || toks[0].Text != "42" {
+		t.Errorf("int: %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != token.FLOAT || toks[1].Text != "3.14" {
+		t.Errorf("float: %v %q", toks[1].Kind, toks[1].Text)
+	}
+	if toks[2].Kind != token.INT || toks[2].Text != "0xFF" {
+		t.Errorf("hex: %v %q", toks[2].Kind, toks[2].Text)
+	}
+	if toks[3].Kind != token.IDENT || toks[3].Text != "2X" {
+		t.Errorf("digit-leading ident: %v %q", toks[3].Kind, toks[3].Text)
+	}
+}
+
+func TestIntDotIdentIsNotFloat(t *testing.T) {
+	got := kinds(t, "Fabric[1].Key")
+	want := []token.Kind{token.IDENT, token.LBRACK, token.INT, token.RBRACK,
+		token.DOT, token.IDENT, token.EOF}
+	if !eqKinds(got, want...) {
+		t.Errorf("kinds = %v", got)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // line comment\nb /* block\ncomment */ c")
+	want := []token.Kind{token.IDENT, token.NEWLINE, token.IDENT, token.IDENT, token.EOF}
+	if !eqKinds(got, want...) {
+		t.Errorf("kinds = %v", got)
+	}
+}
+
+func TestNewlineCollapsing(t *testing.T) {
+	got := kinds(t, "a\n\n\nb")
+	want := []token.Kind{token.IDENT, token.NEWLINE, token.IDENT, token.EOF}
+	if !eqKinds(got, want...) {
+		t.Errorf("kinds = %v", got)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	got := kinds(t, "if else namespace compartment let load include get policy as all exists one")
+	want := []token.Kind{token.IF, token.ELSE, token.NAMESPACE, token.COMPARTMENT,
+		token.LET, token.LOAD, token.INCLUDE, token.GET, token.POLICY, token.AS,
+		token.ALL, token.EXISTS, token.ONE, token.EOF}
+	if !eqKinds(got, want...) {
+		t.Errorf("kinds = %v", got)
+	}
+}
+
+func TestPunctErrors(t *testing.T) {
+	for _, bad := range []string{"a = b", "a ! b", "a : b", "a ^ b"} {
+		if _, err := Tokenize(bad); err == nil {
+			t.Errorf("input %q should error", bad)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("tok0 pos = %v", toks[0].Pos)
+	}
+	if toks[2].Pos.Line != 2 || toks[2].Pos.Col != 3 {
+		t.Errorf("cd pos = %v", toks[2].Pos)
+	}
+}
+
+func TestAssignAndDoubleColon(t *testing.T) {
+	got := kinds(t, "let U := unique & ip\n$Fabric::inst1.K")
+	want := []token.Kind{token.LET, token.IDENT, token.ASSIGN, token.IDENT,
+		token.AMP, token.IDENT, token.NEWLINE, token.DOLLAR, token.IDENT,
+		token.DCOLON, token.IDENT, token.DOT, token.IDENT, token.EOF}
+	if !eqKinds(got, want...) {
+		t.Errorf("kinds = %v", got)
+	}
+}

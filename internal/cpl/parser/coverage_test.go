@@ -1,0 +1,144 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"confvalley/internal/cpl/ast"
+	"confvalley/internal/cpl/token"
+)
+
+func TestMessageClause(t *testing.T) {
+	s := spec(t, "$X -> int message 'custom text'")
+	if s.Message != "custom text" {
+		t.Errorf("message = %q", s.Message)
+	}
+	// Continuation-line form.
+	s = spec(t, "$X -> int\n  message 'on the next line'")
+	if s.Message != "on the next line" {
+		t.Errorf("message = %q", s.Message)
+	}
+	// The clause needs a string.
+	if _, err := Parse("$X -> int message 42"); err == nil {
+		t.Error("non-string message should error")
+	}
+}
+
+func TestNameVariableInQid(t *testing.T) {
+	s := spec(t, "$Fabric.$ParamName -> nonempty")
+	ref := s.Domain.(*ast.Ref)
+	if ref.Pattern.Segs[1].NameVar != "ParamName" {
+		t.Errorf("pattern = %+v", ref.Pattern)
+	}
+	if ast.Render(s) != "$Fabric.$ParamName -> nonempty" {
+		t.Errorf("render = %q", ast.Render(s))
+	}
+}
+
+func TestNestedArgumentPipelines(t *testing.T) {
+	s := spec(t, "union($Pool.Members -> split(';') -> trim()) -> len() -> >= 1")
+	// Shape: Pipe{Src: Pipe{Src: Pipe{Ref, [split, trim]}, [union]}, [len]}.
+	outer := s.Domain.(*ast.Pipe)
+	if len(outer.Steps) != 1 || outer.Steps[0].T.Name != "len" {
+		t.Fatalf("outer steps = %+v", outer.Steps)
+	}
+	unionPipe, ok := outer.Src.(*ast.Pipe)
+	if !ok || len(unionPipe.Steps) != 1 || unionPipe.Steps[0].T.Name != "union" {
+		t.Fatalf("union pipe = %#v", outer.Src)
+	}
+	inner, ok := unionPipe.Src.(*ast.Pipe)
+	if !ok || len(inner.Steps) != 2 || inner.Steps[0].T.Name != "split" || inner.Steps[1].T.Name != "trim" {
+		t.Fatalf("inner pipe = %#v", unionPipe.Src)
+	}
+}
+
+func TestQuotedInstanceAndIndexVar(t *testing.T) {
+	s := spec(t, "$Group::'East US 2'.Rack[$which].Key -> int")
+	ref := s.Domain.(*ast.Ref)
+	if ref.Pattern.Segs[0].Inst != "East US 2" {
+		t.Errorf("quoted instance = %+v", ref.Pattern.Segs[0])
+	}
+	if ref.Pattern.Segs[1].IndexVar != "which" {
+		t.Errorf("index var = %+v", ref.Pattern.Segs[1])
+	}
+}
+
+func TestWildcardInstance(t *testing.T) {
+	s := spec(t, "$Cloud::*west*.Key -> int")
+	ref := s.Domain.(*ast.Ref)
+	if ref.Pattern.Segs[0].Inst != "*west*" {
+		t.Errorf("wildcard instance = %+v", ref.Pattern.Segs[0])
+	}
+}
+
+func TestLoneStarInstance(t *testing.T) {
+	s := spec(t, "$Cloud::*.Key -> int")
+	ref := s.Domain.(*ast.Ref)
+	if ref.Pattern.Segs[0].Inst != "*" {
+		t.Errorf("star instance = %+v", ref.Pattern.Segs[0])
+	}
+}
+
+func TestGuardedTupleStep(t *testing.T) {
+	s := spec(t, "$X -> if (nonempty) [at(0), at(1)] -> exists [1, 9]")
+	pipe := s.Domain.(*ast.Pipe)
+	if pipe.Steps[0].Guard == nil || pipe.Steps[0].T.Name != "tuple" {
+		t.Errorf("step = %+v", pipe.Steps[0])
+	}
+}
+
+func TestParenthesizedDomain(t *testing.T) {
+	s := spec(t, "($A) + $B -> [0, 10]")
+	if _, ok := s.Domain.(*ast.BinaryDomain); !ok {
+		t.Errorf("domain = %T", s.Domain)
+	}
+}
+
+func TestNegativeNumberLiterals(t *testing.T) {
+	s := spec(t, "$X -> [-10, -1]")
+	rng := s.Pred.(*ast.Range)
+	if rng.Lo.(*ast.Lit).Text != "-10" || rng.Hi.(*ast.Lit).Text != "-1" {
+		t.Errorf("bounds = %v %v", rng.Lo, rng.Hi)
+	}
+	if _, err := Parse("$X -> [-x, 1]"); err == nil {
+		t.Error("minus before non-number should error")
+	}
+}
+
+func TestBareIdentifierEnumMembers(t *testing.T) {
+	s := spec(t, "$Mode -> {fast, safe}")
+	en := s.Pred.(*ast.Enum)
+	if en.Elems[0].(*ast.Lit).Text != "fast" || en.Elems[0].(*ast.Lit).Kind != token.STRING {
+		t.Errorf("bare member = %+v", en.Elems[0])
+	}
+}
+
+func TestMoreParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"$X -> [1 2]",       // missing comma
+		"$X -> {1, }",       // trailing comma
+		"$X -> split(",      // unterminated args
+		"$A.$ -> int",       // bad name var
+		"compartment",       // missing scope
+		"namespace 5 { }",   // numeric scope
+		"$X[0].K -> int",    // zero index
+		"$X[-1].K -> int",   // negative index
+		"$X -> int message", // message without string
+		"if $X -> int",      // missing parens
+		"$X ->",             // dangling arrow
+		"get",               // get without domain
+		"policy p",          // policy without value
+		"one",               // bare quantifier
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestErrorsMentionPosition(t *testing.T) {
+	_, err := Parse("$X -> int\n$Y -> ???")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line 2 position: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"confvalley/internal/cpl/ast"
+)
+
+// Robustness: the parser must never panic, whatever the input.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	words := []string{
+		"$", "X", "->", "int", "&", "|", "~", "[", "]", "{", "}", "(", ")",
+		"compartment", "namespace", "if", "else", "let", ":=", "load",
+		"'s'", "5", ",", ".", "::", "exists", "all", "one", "@", "m",
+		"split", "at", "#", "==", "<=", "message",
+	}
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(14)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		src := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// Property: rendering a parsed statement and re-parsing it reproduces the
+// same rendering (render∘parse is a fixpoint) for a randomized family of
+// generated specifications.
+func TestPropRenderParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	preds := []string{
+		"int", "ip & nonempty", "bool | int", "~nonempty",
+		"[1, 99]", "{'a', 'b', 'c'}", "match('*.vhd')", "unique & consistent",
+		"== 'x'", "<= $Other.Bound", "if (nonempty) int else bool",
+		"exists [1, 5]", "list(ip)", "startswith('https://')",
+	}
+	doms := []string{
+		"$A", "$A.B", "$A::i1.B", "$A[2].B", "$*.Key", "$Pre*",
+		"$A -> split(':') -> at(0)", "count($A.B)", "$A + $B",
+		"#[Scope] $A.B#",
+	}
+	for trial := 0; trial < 300; trial++ {
+		src := doms[rng.Intn(len(doms))] + " -> " + preds[rng.Intn(len(preds))]
+		if rng.Intn(4) == 0 {
+			src = "exists " + src
+		}
+		if rng.Intn(5) == 0 {
+			src += " message 'custom'"
+		}
+		stmts, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated spec %q does not parse: %v", src, err)
+		}
+		r1 := ast.Render(stmts[0])
+		stmts2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("rendered spec %q does not re-parse: %v (from %q)", r1, err, src)
+		}
+		if r2 := ast.Render(stmts2[0]); r2 != r1 {
+			t.Fatalf("render not a fixpoint:\n  src: %s\n  r1:  %s\n  r2:  %s", src, r1, r2)
+		}
+	}
+}
+
+// Property: parsing is deterministic.
+func TestParserDeterministic(t *testing.T) {
+	src := `
+compartment Cluster {
+  $ProxyIP -> [$StartIP, $EndIP]
+  $IPv6Prefix -> ~nonempty | cidr
+}
+exists $Role -> == 'controller'
+`
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Parse(src)
+	if len(a) != len(b) || ast.Render(a[0]) != ast.Render(b[0]) {
+		t.Fatal("parser nondeterministic")
+	}
+}

@@ -1,0 +1,123 @@
+// Package driver converts diverse configuration representations — XML
+// hierarchies, INI files, key-value stores, JSON, YAML, CSV and REST
+// endpoints — into ConfValley's unified representation (§4.2.2, Table 2 of
+// the paper). Each driver is small because all validation intelligence
+// lives above the unified representation.
+package driver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"confvalley/internal/config"
+)
+
+// Driver parses one configuration format into unified instances.
+type Driver interface {
+	// Name is the format name used in CPL load commands ("xml", "ini", ...).
+	Name() string
+	// Parse converts raw source bytes into instances. sourceName is kept
+	// as provenance on every instance.
+	Parse(data []byte, sourceName string) ([]*config.Instance, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Driver)
+)
+
+// Register makes a driver available by name. Drivers in this package
+// self-register; plug-in drivers may register at init time. Registering a
+// duplicate name panics: it is a programming error.
+func Register(d Driver) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[d.Name()]; dup {
+		panic("driver: duplicate registration of " + d.Name())
+	}
+	registry[d.Name()] = d
+}
+
+// Lookup returns the driver for a format name.
+func Lookup(name string) (Driver, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("driver: unknown configuration format %q (have %v)", name, Names())
+	}
+	return d, nil
+}
+
+// Names returns the registered format names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadInto parses data with the named driver and adds the instances to the
+// store, optionally prefixing every key with scope segments (the CPL
+// "load ... as Scope" form: §4.2.2 way #3 of attaching scope information).
+func LoadInto(st *config.Store, format string, data []byte, sourceName, scope string) (int, error) {
+	d, err := Lookup(format)
+	if err != nil {
+		return 0, err
+	}
+	ins, err := d.Parse(data, sourceName)
+	if err != nil {
+		return 0, fmt.Errorf("driver %s: parsing %s: %w", format, sourceName, err)
+	}
+	if scope != "" {
+		pre, err := scopeSegs(scope)
+		if err != nil {
+			return 0, err
+		}
+		for _, in := range ins {
+			segs := make([]config.Seg, 0, len(pre)+len(in.Key.Segs))
+			segs = append(segs, pre...)
+			segs = append(segs, in.Key.Segs...)
+			in.Key = config.Key{Segs: segs}
+		}
+	}
+	st.AddAll(ins)
+	return len(ins), nil
+}
+
+// scopeSegs parses a dotted scope prefix like "Fabric" or "Fabric::inst1".
+func scopeSegs(scope string) ([]config.Seg, error) {
+	p, err := config.ParsePattern(scope)
+	if err != nil {
+		return nil, fmt.Errorf("driver: bad scope %q: %w", scope, err)
+	}
+	segs := make([]config.Seg, len(p.Segs))
+	for i, ps := range p.Segs {
+		if ps.InstVar != "" || ps.IndexVar != "" {
+			return nil, fmt.Errorf("driver: scope %q must not contain variables", scope)
+		}
+		segs[i] = config.Seg{Name: ps.Name, Inst: ps.Inst, Index: ps.Index}
+	}
+	return segs, nil
+}
+
+// indexer assigns 1-based sibling ordinals to repeated (parent, name, inst)
+// occurrences while a hierarchical source is walked.
+type indexer struct {
+	counts map[string]int
+}
+
+func newIndexer() *indexer { return &indexer{counts: make(map[string]int)} }
+
+// next returns the ordinal for a child called name (with optional instance
+// name inst) under the parent identified by parentKey.
+func (ix *indexer) next(parentKey, name string) int {
+	k := parentKey + "\x00" + name
+	ix.counts[k]++
+	return ix.counts[k]
+}

@@ -1,0 +1,103 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+
+	"confvalley/internal/config"
+)
+
+// iniDriver handles INI files. A section header names a dotted scope path
+// ("[Fabric.Controller]"), optionally with instance names in CPL notation
+// ("[Cluster::East1]"). Keys outside any section are top-level parameters.
+// Repeating a section accumulates into the same scope; repeating a key in
+// one section creates additional instances of the same class.
+type iniDriver struct{}
+
+func init() { Register(iniDriver{}) }
+
+func (iniDriver) Name() string { return "ini" }
+
+func (iniDriver) Parse(data []byte, sourceName string) ([]*config.Instance, error) {
+	var out []*config.Instance
+	var scope []config.Seg
+	lines := strings.Split(string(data), "\n")
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || line[0] == '#' || line[0] == ';' {
+			continue
+		}
+		if line[0] == '[' {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("ini: %s:%d: malformed section header %q", sourceName, ln+1, line)
+			}
+			header := strings.TrimSpace(line[1 : len(line)-1])
+			if header == "" {
+				scope = nil
+				continue
+			}
+			segs, err := scopeSegs(header)
+			if err != nil {
+				return nil, fmt.Errorf("ini: %s:%d: %w", sourceName, ln+1, err)
+			}
+			scope = segs
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("ini: %s:%d: expected key=value, got %q", sourceName, ln+1, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		if key == "" {
+			return nil, fmt.Errorf("ini: %s:%d: empty key", sourceName, ln+1)
+		}
+		val = strings.Trim(val, `"`)
+		segs := make([]config.Seg, 0, len(scope)+1)
+		segs = append(segs, scope...)
+		segs = append(segs, config.Seg{Name: key})
+		out = append(out, &config.Instance{
+			Key:    config.Key{Segs: segs},
+			Value:  val,
+			Source: sourceName,
+			Line:   ln + 1,
+		})
+	}
+	return out, nil
+}
+
+// kvDriver handles flat key-value stores: one "dotted.key = value" per
+// line. The dotted key may use full CPL instance notation
+// ("Cluster::c1.Node::n3.HeartbeatTimeout = 30").
+type kvDriver struct{}
+
+func init() { Register(kvDriver{}) }
+
+func (kvDriver) Name() string { return "kv" }
+
+func (kvDriver) Parse(data []byte, sourceName string) ([]*config.Instance, error) {
+	var out []*config.Instance
+	for ln, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("kv: %s:%d: expected key=value, got %q", sourceName, ln+1, line)
+		}
+		keyStr := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		segs, err := scopeSegs(keyStr)
+		if err != nil {
+			return nil, fmt.Errorf("kv: %s:%d: %w", sourceName, ln+1, err)
+		}
+		out = append(out, &config.Instance{
+			Key:    config.Key{Segs: segs},
+			Value:  val,
+			Source: sourceName,
+			Line:   ln + 1,
+		})
+	}
+	return out, nil
+}

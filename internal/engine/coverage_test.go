@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"confvalley/internal/compiler"
+	"confvalley/internal/config"
+	"confvalley/internal/simenv"
+)
+
+func TestOrderedPredicate(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Tier[1].Limit", "10")
+	kv(st, "Tier[2].Limit", "20")
+	kv(st, "Tier[3].Limit", "100") // numeric order, not string order
+	if rep := run(t, st, "$Tier.Limit -> ordered"); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	kv(st, "Tier[4].Limit", "50")
+	rep := run(t, st, "$Tier.Limit -> ordered")
+	if len(rep.Violations) != 1 || !strings.Contains(rep.Violations[0].Message, "ordering") {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestRegexMatchViaEngine(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Build.Version", "v12")
+	kv(st, "Build.Tag", "release-candidate")
+	rep := run(t, st, "$Build.Version -> match('/^v[0-9]+$/')")
+	if !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	rep = run(t, st, "$Build.Tag -> match('/^v[0-9]+$/')")
+	if len(rep.Violations) != 1 {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestListTypeViaEngine(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Proxy.IPs", "10.0.0.1,10.0.0.2")
+	kv(st, "Proxy.Bad", "10.0.0.1,zebra")
+	if rep := run(t, st, "$Proxy.IPs -> list(ip)"); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	if rep := run(t, st, "$Proxy.Bad -> list(ip)"); len(rep.Violations) != 1 {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestReachableAndHostOS(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Cache.Endpoint", "cache01:6379")
+	prog, err := compiler.Compile("$Cache.Endpoint -> reachable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simenv.NewSim()
+	env.AddEndpoint("cache01:6379")
+	eng := Engine{Store: st, Env: env}
+	if rep := eng.Run(prog); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	eng2 := Engine{Store: st, Env: simenv.NewSim()}
+	if rep := eng2.Run(prog); len(rep.Violations) != 1 {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	// hostos gates a check on the validating host's OS.
+	env.SetOS("windows")
+	prog, err = compiler.Compile(`if (exists $Cache.Endpoint -> hostos('windows')) $Cache.Endpoint -> match(':6379')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng3 := Engine{Store: st, Env: env}
+	if rep := eng3.Run(prog); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestNestedCompartments(t *testing.T) {
+	st := config.NewStore()
+	// Ports unique per (cluster, rack) pair, repeating across racks.
+	for c := 1; c <= 2; c++ {
+		for r := 1; r <= 2; r++ {
+			for b := 1; b <= 2; b++ {
+				st.Add(&config.Instance{
+					Key: config.K(
+						fmt.Sprintf("Cluster::c%d", c),
+						fmt.Sprintf("Rack::r%d", r),
+						fmt.Sprintf("Slot[%d]", b),
+						"Port"),
+					Value: fmt.Sprintf("%d", 9000+b),
+				})
+			}
+		}
+	}
+	src := "compartment Cluster { compartment Rack { $Slot.Port -> unique } }"
+	if rep := run(t, st, src); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	// A duplicate within one rack is caught; the same value in another
+	// rack is not.
+	st.Add(&config.Instance{Key: config.K("Cluster::c1", "Rack::r1", "Slot[3]", "Port"), Value: "9001"})
+	rep := run(t, st, src)
+	if len(rep.Violations) != 1 || !strings.Contains(rep.Violations[0].Key, "c1.Rack::r1") {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestNamespaceInsideCompartment(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Cluster::c1.net.config.Mtu", "1500")
+	kv(st, "Cluster::c2.net.config.Mtu", "9000")
+	src := `
+compartment Cluster {
+  namespace net.config {
+    $Mtu -> int & {'1500', '9000'}
+  }
+}`
+	if rep := run(t, st, src); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestMacroChains(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "LB.VIP", "10.0.0.1")
+	kv(st, "LB.VIP2", "10.0.0.1")
+	src := `
+let IsIP := ip & nonempty
+let UniqueIP := @IsIP & unique
+$*VIP* -> @UniqueIP
+`
+	rep := run(t, st, src)
+	// VIP and VIP2 are different classes: per-class uniqueness holds.
+	if !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	kv(st, "LB2.VIP", "10.0.0.1") // same class as LB.VIP? different scope -> different class
+	rep = run(t, st, src)
+	if !rep.Passed() {
+		t.Errorf("cross-class values should not collide: %v", rep.Violations)
+	}
+	kv(st, "LB.VIP", "10.0.0.1") // true duplicate within one class
+	rep = run(t, st, src)
+	if len(rep.Violations) != 1 {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestSizeAndDurationRanges(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Cache.Max", "512MB")
+	kv(st, "Cache.Ttl", "5min")
+	if rep := run(t, st, "$Cache.Max -> size & ['64MB', '1GB']"); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	if rep := run(t, st, "$Cache.Ttl -> duration & ['30s', '10min']"); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	if rep := run(t, st, "$Cache.Max -> ['1GB', '2GB']"); len(rep.Violations) != 1 {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestNumberedInstanceSelection(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Gateway[1].Weight", "100")
+	kv(st, "Gateway[2].Weight", "50")
+	rep := run(t, st, "$Gateway[1].Weight -> == '100'")
+	if !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	rep = run(t, st, "$Gateway[2].Weight -> == '100'")
+	if len(rep.Violations) != 1 {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestReduceTransformsViaEngine(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Shard[1].Weight", "20")
+	kv(st, "Shard[2].Weight", "30")
+	kv(st, "Shard[3].Weight", "50")
+	// Weights sum to 100.
+	if rep := run(t, st, "sum($Shard.Weight) == 100"); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	if rep := run(t, st, "max($Shard.Weight) -> [0, 49]"); len(rep.Violations) != 1 {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+	if rep := run(t, st, "min($Shard.Weight) -> == 20"); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestUnionDistinctViaEngine(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Pool::a.Members", "n1;n2")
+	kv(st, "Pool::b.Members", "n2;n3")
+	// The union of all member lists has 3 distinct entries.
+	if rep := run(t, st, "union($Pool.Members -> split(';')) -> len() -> == 3"); !rep.Passed() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestEmptyRhsRelationReported(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "A", "1")
+	rep := run(t, st, "$A == $NoSuchKey")
+	if len(rep.Violations) != 1 || !strings.Contains(rep.Violations[0].Message, "no values") {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestInstancesCheckedAccounting(t *testing.T) {
+	st := config.NewStore()
+	for i := 0; i < 5; i++ {
+		kv(st, fmt.Sprintf("N[%d].V", i+1), "1")
+	}
+	rep := run(t, st, "$N.V -> int")
+	if rep.InstancesChecked != 5 {
+		t.Errorf("InstancesChecked = %d, want 5", rep.InstancesChecked)
+	}
+}

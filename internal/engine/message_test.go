@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"confvalley/internal/compiler"
+	"confvalley/internal/config"
+	"confvalley/internal/simenv"
+)
+
+func TestCustomErrorMessageOverride(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Fabric.Timeout", "oops")
+	rep := run(t, st, "$Fabric.Timeout -> int message 'timeout must be a number of seconds'")
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+	if rep.Violations[0].Message != "timeout must be a number of seconds" {
+		t.Errorf("message = %q", rep.Violations[0].Message)
+	}
+}
+
+func TestCustomMessagePreventsAggregation(t *testing.T) {
+	// Two specs over the same domain but with different messages must not
+	// merge — the override is per-check (§4.4).
+	prog, err := compiler.Compile(`
+$X -> int message 'first'
+$X -> nonempty message 'second'
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Specs) != 2 {
+		t.Fatalf("specs merged despite distinct messages: %d", len(prog.Specs))
+	}
+	st := config.NewStore()
+	kv(st, "X", "")
+	eng := Engine{Store: st, Env: simenv.NewSim()}
+	rep := eng.Run(prog)
+	msgs := make([]string, 0, len(rep.Violations))
+	for _, v := range rep.Violations {
+		msgs = append(msgs, v.Message)
+	}
+	joined := strings.Join(msgs, ",")
+	if !strings.Contains(joined, "second") {
+		t.Errorf("messages = %v", msgs)
+	}
+	if strings.Contains(joined, "first") {
+		t.Errorf("int check should pass the empty value (vacuous): %v", msgs)
+	}
+}
+
+func TestEnvEqualsPredicate(t *testing.T) {
+	st := config.NewStore()
+	kv(st, "Deploy.Region", "east1")
+	prog, err := compiler.Compile("if (exists $Deploy.Region -> envequals('REGION', 'east1')) $Deploy.Region -> == 'east1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := simenv.NewSim()
+	env.Setenv("REGION", "east1")
+	eng := Engine{Store: st, Env: env}
+	rep := eng.Run(prog)
+	if !rep.Passed() {
+		t.Errorf("violations = %v, errs = %v", rep.Violations, rep.SpecErrors)
+	}
+	// With a different host region the condition gates the check off.
+	env2 := simenv.NewSim()
+	env2.Setenv("REGION", "west1")
+	st2 := config.NewStore()
+	kv(st2, "Deploy.Region", "wrong")
+	eng2 := Engine{Store: st2, Env: env2}
+	rep = eng2.Run(prog)
+	if !rep.Passed() {
+		t.Errorf("gated check ran anyway: %v", rep.Violations)
+	}
+}

@@ -1,0 +1,150 @@
+package infer
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"confvalley/internal/compiler"
+	"confvalley/internal/config"
+)
+
+func TestEmptyStoreInference(t *testing.T) {
+	res := Infer(config.NewStore(), Defaults())
+	if len(res.Constraints) != 0 || res.ClassesAnalyzed != 0 {
+		t.Errorf("empty store inferred %+v", res)
+	}
+	if cpl := res.GenerateCPL(); !strings.Contains(cpl, "0 constraints") {
+		t.Errorf("header wrong:\n%s", cpl)
+	}
+}
+
+func TestSingletonClass(t *testing.T) {
+	st := config.NewStore()
+	st.Add(&config.Instance{Key: config.K("Solo"), Value: "42"})
+	res := Infer(st, Defaults())
+	ks := kinds(res.PerClass["Solo"])
+	if !ks[KindType] || !ks[KindNonempty] {
+		t.Errorf("singleton constraints = %+v", res.PerClass["Solo"])
+	}
+	// No consistency (below MinConsistency), no range, no uniqueness.
+	if ks[KindConsistency] || ks[KindRange] || ks[KindUniqueness] {
+		t.Errorf("singleton over-inferred: %+v", res.PerClass["Solo"])
+	}
+}
+
+func TestAllEmptyClassIsConsistentOnly(t *testing.T) {
+	st := config.NewStore()
+	addClass(st, "F.Unset", 20, func(int) string { return "" })
+	res := Infer(st, Defaults())
+	ks := kinds(res.PerClass["F.Unset"])
+	if !ks[KindConsistency] {
+		t.Error("uniformly-unset class should be consistent")
+	}
+	if ks[KindType] || ks[KindNonempty] {
+		t.Errorf("unset class over-inferred: %+v", res.PerClass["F.Unset"])
+	}
+}
+
+func TestEnumBoundaryMaxVals(t *testing.T) {
+	opts := Defaults()
+	opts.MaxEnumVals = 3
+	st := config.NewStore()
+	addClass(st, "T.K3", 60, func(i int) string { return fmt.Sprintf("v%d", i%3) })
+	addClass(st, "T.K4", 60, func(i int) string { return fmt.Sprintf("v%d", i%4) })
+	res := Infer(st, opts)
+	if !kinds(res.PerClass["T.K3"])[KindEnum] {
+		t.Error("3-value set within MaxEnumVals should infer enum")
+	}
+	if kinds(res.PerClass["T.K4"])[KindEnum] {
+		t.Error("4-value set beyond MaxEnumVals must not infer enum")
+	}
+}
+
+func TestEnumQuoteEscaping(t *testing.T) {
+	st := config.NewStore()
+	addClass(st, "T.Q", 60, func(i int) string { return []string{"it's", "quote'd"}[i%2] })
+	res := Infer(st, Defaults())
+	src := res.GenerateCPL()
+	if _, err := compiler.Compile(src); err != nil {
+		t.Fatalf("generated CPL with quoted members does not compile: %v\n%s", err, src)
+	}
+}
+
+func TestRangeFloats(t *testing.T) {
+	st := config.NewStore()
+	addClass(st, "F.Ratio", 30, func(i int) string { return fmt.Sprintf("%.1f", 0.5+float64(i%5)/10) })
+	res := Infer(st, Defaults())
+	var rangeCPL string
+	for _, c := range res.PerClass["F.Ratio"] {
+		if c.Kind == KindRange {
+			rangeCPL = c.CPL
+		}
+	}
+	if rangeCPL != "[0.5, 0.9]" {
+		t.Errorf("float range = %q", rangeCPL)
+	}
+}
+
+func TestVerboseCPLCompilesAndFolds(t *testing.T) {
+	st := config.NewStore()
+	addClass(st, "Node.Port", 50, func(i int) string { return fmt.Sprintf("%d", 8000+i) })
+	addClass(st, "Node.Flag", 50, func(int) string { return "true" })
+	res := Infer(st, Defaults())
+	verbose := res.GenerateVerboseCPL()
+	compact := res.GenerateCPL()
+	if strings.Count(verbose, "\n") <= strings.Count(compact, "\n") {
+		t.Error("verbose form should have more statements")
+	}
+	vprog, err := compiler.Compile(verbose)
+	if err != nil {
+		t.Fatalf("verbose CPL does not compile: %v", err)
+	}
+	cprog, err := compiler.Compile(compact)
+	if err != nil {
+		t.Fatalf("compact CPL does not compile: %v", err)
+	}
+	// The optimizer folds the verbose form down to the compact shape.
+	if len(vprog.Specs) != len(cprog.Specs) {
+		t.Errorf("optimized verbose = %d specs, compact = %d", len(vprog.Specs), len(cprog.Specs))
+	}
+}
+
+func TestInferTimeRecorded(t *testing.T) {
+	st := config.NewStore()
+	addClass(st, "A.B", 30, func(i int) string { return fmt.Sprintf("%d", i) })
+	res := Infer(st, Defaults())
+	if res.InferTime <= 0 {
+		t.Error("InferTime not recorded")
+	}
+	if res.InstancesAnalyzed != 30 || res.ClassesAnalyzed != 1 {
+		t.Errorf("counters = %d/%d", res.ClassesAnalyzed, res.InstancesAnalyzed)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindType: "Type", KindNonempty: "Nonempty", KindRange: "Range",
+		KindEnum: "Enum", KindEquality: "Equality", KindConsistency: "Consistency",
+		KindUniqueness: "Uniqueness",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+}
+
+// Idempotence: inferring twice over the same store yields the same
+// constraints in the same order.
+func TestInferenceDeterministic(t *testing.T) {
+	st := config.NewStore()
+	addClass(st, "Node.Port", 40, func(i int) string { return fmt.Sprintf("%d", 9000+i) })
+	addClass(st, "Node.Secret", 25, func(int) string { return "0123456789abcdef" })
+	addClass(st, "Peer.Secret", 25, func(int) string { return "0123456789abcdef" })
+	a := Infer(st, Defaults()).GenerateCPL()
+	b := Infer(st, Defaults()).GenerateCPL()
+	if a != b {
+		t.Error("inference nondeterministic")
+	}
+}

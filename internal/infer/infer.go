@@ -1,0 +1,458 @@
+// Package infer implements ConfValley's automatic specification inference
+// engine (§4.5 of the paper). It mines validation constraints from
+// known-good configuration data using the black-box approach: a
+// configuration class with many instances carries enough evidence to infer
+// its data type, nonemptiness, value range, enumeration membership,
+// uniqueness, consistency, and cross-parameter equality.
+//
+// Noise tolerance follows the paper: types are joined through the type
+// lattice (mixed int and list-of-int infer list-of-int), an enumeration is
+// inferred only when ln(#values) ≥ #distinct ∧ #distinct ≤ MaxEnumVals,
+// and equality clustering ignores values shorter than 6 characters and
+// classes with fewer than 20 instances to avoid over-clustering.
+package infer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"confvalley/internal/config"
+	"confvalley/internal/vtype"
+)
+
+// Kind classifies an inferred constraint (the Table 5 categories).
+type Kind int
+
+// Constraint kinds. Enum is reported under Range in Table 5 style
+// summaries ("value range" covers both interval and membership).
+const (
+	KindType Kind = iota
+	KindNonempty
+	KindRange
+	KindEnum
+	KindEquality
+	KindConsistency
+	KindUniqueness
+)
+
+// String names the kind as in Table 5.
+func (k Kind) String() string {
+	switch k {
+	case KindType:
+		return "Type"
+	case KindNonempty:
+		return "Nonempty"
+	case KindRange:
+		return "Range"
+	case KindEnum:
+		return "Enum"
+	case KindEquality:
+		return "Equality"
+	case KindConsistency:
+		return "Consistency"
+	case KindUniqueness:
+		return "Uniqueness"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Options tune the inference heuristics; Defaults() reproduces the
+// paper's settings.
+type Options struct {
+	// MaxEnumVals caps the distinct-value set size for enumerations.
+	MaxEnumVals int
+	// TypeThreshold is the fraction of samples that must conform to the
+	// joined candidate type.
+	TypeThreshold float64
+	// MinRangeSamples is the minimum instance count to infer a numeric
+	// range.
+	MinRangeSamples int
+	// MinEqualLen ignores values shorter than this in equality
+	// clustering (paper: 6).
+	MinEqualLen int
+	// MinEqualInstances ignores classes with fewer instances in equality
+	// clustering (paper: 20).
+	MinEqualInstances int
+	// MinConsistency is the minimum instance count to infer consistency.
+	MinConsistency int
+	// MinUniqueness is the minimum instance count to infer uniqueness.
+	MinUniqueness int
+}
+
+// Defaults returns the paper's heuristic settings.
+func Defaults() Options {
+	return Options{
+		MaxEnumVals:       10,
+		TypeThreshold:     0.95,
+		MinRangeSamples:   10,
+		MinEqualLen:       6,
+		MinEqualInstances: 20,
+		MinConsistency:    3,
+		MinUniqueness:     10,
+	}
+}
+
+// Constraint is one inferred specification.
+type Constraint struct {
+	Kind  Kind
+	Class string   // class path ("Fabric.Controller.Timeout")
+	Peers []string // equality: the other classes in the cluster
+	CPL   string   // the predicate fragment ("int", "[5, 15]", ...)
+}
+
+// Result holds the inference output for one corpus.
+type Result struct {
+	Constraints []Constraint
+	// PerClass maps class path to its constraints (excluding equality,
+	// which spans classes).
+	PerClass map[string][]Constraint
+	// ClassesAnalyzed and InstancesAnalyzed describe the input.
+	ClassesAnalyzed   int
+	InstancesAnalyzed int
+	// InferTime is the mining time, excluding source parsing (Table 9's
+	// breakdown).
+	InferTime time.Duration
+}
+
+// CountByKind tallies constraints per Table 5 category. Enum counts under
+// Range, as the paper folds membership into "value range".
+func (r *Result) CountByKind() map[string]int {
+	out := map[string]int{}
+	for _, c := range r.Constraints {
+		k := c.Kind
+		if k == KindEnum {
+			k = KindRange
+		}
+		out[k.String()]++
+	}
+	return out
+}
+
+// Histogram buckets classes by their number of inferred constraints
+// (Figure 5). The returned slice index is the constraint count; the last
+// bucket aggregates counts beyond its index.
+func (r *Result) Histogram(maxBucket int) []int {
+	buckets := make([]int, maxBucket+1)
+	counts := make(map[string]int, r.ClassesAnalyzed)
+	for _, c := range r.Constraints {
+		if c.Kind == KindEquality {
+			counts[c.Class]++
+			for _, p := range c.Peers {
+				counts[p]++
+			}
+			continue
+		}
+		counts[c.Class]++
+	}
+	zero := r.ClassesAnalyzed - len(counts)
+	if zero > 0 {
+		buckets[0] = zero
+	}
+	for _, n := range counts {
+		if n > maxBucket {
+			n = maxBucket
+		}
+		buckets[n]++
+	}
+	return buckets
+}
+
+// Infer mines constraints from every class in the store.
+func Infer(st *config.Store, opts Options) *Result {
+	start := time.Now()
+	res := &Result{PerClass: make(map[string][]Constraint)}
+	res.ClassesAnalyzed = len(st.Classes())
+	res.InstancesAnalyzed = st.Len()
+
+	// Per-class constraints, plus bookkeeping for equality clustering.
+	type classFact struct {
+		class      string
+		consistent bool
+		soleValue  string
+		n          int
+	}
+	var facts []classFact
+	for _, class := range st.Classes() {
+		ins := st.ClassInstances(class)
+		values := make([]string, len(ins))
+		for i, in := range ins {
+			values[i] = in.Value
+		}
+		cs := inferClass(class, values, opts)
+		for _, c := range cs {
+			res.Constraints = append(res.Constraints, c)
+			res.PerClass[class] = append(res.PerClass[class], c)
+		}
+		set := distinct(values)
+		facts = append(facts, classFact{
+			class:      class,
+			consistent: len(set) == 1,
+			soleValue:  values[0],
+			n:          len(values),
+		})
+	}
+
+	// Equality among parameters: cluster consistent classes by value.
+	clusters := make(map[string][]string)
+	for _, f := range facts {
+		if !f.consistent || len(f.soleValue) < opts.MinEqualLen || f.n < opts.MinEqualInstances {
+			continue
+		}
+		clusters[f.soleValue] = append(clusters[f.soleValue], f.class)
+	}
+	clusterVals := make([]string, 0, len(clusters))
+	for v := range clusters {
+		clusterVals = append(clusterVals, v)
+	}
+	sort.Strings(clusterVals)
+	for _, v := range clusterVals {
+		classes := clusters[v]
+		if len(classes) < 2 {
+			continue
+		}
+		sort.Strings(classes)
+		// One chain of equalities per cluster: A == B, B == C, ...
+		for i := 0; i+1 < len(classes); i++ {
+			res.Constraints = append(res.Constraints, Constraint{
+				Kind:  KindEquality,
+				Class: classes[i],
+				Peers: []string{classes[i+1]},
+				CPL:   "== $" + classes[i+1],
+			})
+		}
+	}
+	res.InferTime = time.Since(start)
+	return res
+}
+
+// inferClass mines the per-class constraints from its instance values.
+// Heavy analyses (type detection, numeric parsing) run over the distinct
+// values only: a Type B class has ~14,000 instances but a handful of
+// distinct values, and inference must stay cheap relative to parsing
+// (Table 9 of the paper).
+func inferClass(class string, values []string, opts Options) []Constraint {
+	var out []Constraint
+	n := len(values)
+	if n == 0 {
+		return nil
+	}
+	set, counts := distinctWithCounts(values)
+
+	// Data type, with lattice join and noise tolerance.
+	inferredType, hasType := inferType(set, counts, opts)
+	if hasType {
+		out = append(out, Constraint{Kind: KindType, Class: class, CPL: inferredType.String()})
+	}
+
+	// Nonemptiness.
+	nonempty := true
+	for _, v := range set {
+		if strings.TrimSpace(v) == "" {
+			nonempty = false
+			break
+		}
+	}
+	if nonempty {
+		out = append(out, Constraint{Kind: KindNonempty, Class: class, CPL: "nonempty"})
+	}
+
+	isBool := hasType && inferredType == vtype.Scalar(vtype.KindBool)
+
+	// Consistency: a parameter that never varies.
+	if len(set) == 1 && n >= opts.MinConsistency {
+		out = append(out, Constraint{Kind: KindConsistency, Class: class, CPL: "consistent"})
+	}
+
+	// Enumeration: ln(values) ≥ |set| ∧ |set| ≤ MAX (§4.5), skipping
+	// booleans whose two-value "enumeration" is vacuous.
+	enumInferred := false
+	if len(set) >= 2 && len(set) <= opts.MaxEnumVals && !isBool &&
+		math.Log(float64(n)) >= float64(len(set)) {
+		members := make([]string, 0, len(set))
+		for _, v := range set {
+			members = append(members, "'"+strings.ReplaceAll(v, "'", "\\'")+"'")
+		}
+		out = append(out, Constraint{Kind: KindEnum, Class: class, CPL: "{" + strings.Join(members, ", ") + "}"})
+		enumInferred = true
+	}
+
+	// Numeric value range, when enumeration did not already pin the
+	// values down.
+	if !enumInferred && hasType && isNumericType(inferredType) && n >= opts.MinRangeSamples && len(set) >= 2 {
+		lo, hi, ok := numericRange(set)
+		if ok {
+			out = append(out, Constraint{Kind: KindRange, Class: class, CPL: fmt.Sprintf("[%s, %s]", lo, hi)})
+		}
+	}
+
+	// Uniqueness: every instance differs.
+	if len(set) == n && n >= opts.MinUniqueness && !isBool {
+		out = append(out, Constraint{Kind: KindUniqueness, Class: class, CPL: "unique"})
+	}
+	return out
+}
+
+// inferType joins the detected types of the set (non-empty) samples and
+// applies the noise threshold: the joined type must admit at least
+// TypeThreshold of them. Empty samples are "unset", not type evidence —
+// presence is the nonempty constraint's concern. Plain string is never
+// reported (§6.3 counts only types other than the default string).
+// The inputs are the class's distinct values with their occurrence counts,
+// so detection cost scales with value diversity rather than instance count.
+func inferType(set []string, counts map[string]int, opts Options) (vtype.Type, bool) {
+	cand := vtype.Scalar(vtype.KindInvalid)
+	sawNonString := false
+	totalSet := 0
+	for _, v := range set {
+		if strings.TrimSpace(v) == "" {
+			continue
+		}
+		totalSet += counts[v]
+		t := vtype.Detect(v)
+		if !t.IsString() {
+			if !sawNonString {
+				cand, sawNonString = t, true
+			} else {
+				cand = vtype.Join(cand, t)
+			}
+		}
+	}
+	if !sawNonString || totalSet == 0 || cand.IsString() {
+		return vtype.TString, false
+	}
+	conform := 0
+	for _, v := range set {
+		if strings.TrimSpace(v) == "" {
+			continue
+		}
+		if vtype.Conforms(v, cand) {
+			conform += counts[v]
+		}
+	}
+	if float64(conform) < opts.TypeThreshold*float64(totalSet) {
+		return vtype.TString, false
+	}
+	return cand, true
+}
+
+func isNumericType(t vtype.Type) bool {
+	switch t.Kind {
+	case vtype.KindInt, vtype.KindFloat, vtype.KindPort:
+		return true
+	}
+	return false
+}
+
+// numericRange computes [min, max] over samples that parse as numbers,
+// rendered in the style of the inputs (integers stay integers).
+func numericRange(values []string) (lo, hi string, ok bool) {
+	first := true
+	var min, max float64
+	allInt := true
+	for _, v := range values {
+		f, isNum := vtype.ParseFloat(v)
+		if !isNum {
+			continue // noise-tolerant: skip unparsable samples
+		}
+		if _, isInt := vtype.ParseInt(v); !isInt {
+			allInt = false
+		}
+		if first {
+			min, max, first = f, f, false
+			continue
+		}
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if first {
+		return "", "", false
+	}
+	format := func(f float64) string {
+		if allInt {
+			return fmt.Sprintf("%d", int64(f))
+		}
+		return fmt.Sprintf("%g", f)
+	}
+	return format(min), format(max), true
+}
+
+// distinct returns the distinct values in first-seen order.
+func distinct(values []string) []string {
+	out, _ := distinctWithCounts(values)
+	return out
+}
+
+// distinctWithCounts returns the distinct values in first-seen order with
+// their occurrence counts.
+func distinctWithCounts(values []string) ([]string, map[string]int) {
+	counts := make(map[string]int, 16)
+	var out []string
+	for _, v := range values {
+		if counts[v] == 0 {
+			out = append(out, v)
+		}
+		counts[v]++
+	}
+	return out, counts
+}
+
+// GenerateVerboseCPL renders one statement per constraint, the shape
+// redundant hand-written validation code takes (one check added per
+// incident, never consolidated). The compiler's Figure 4 rewrites fold
+// it back into the compact form GenerateCPL produces directly; the
+// Figure 4 ablation benchmark measures that difference.
+func (r *Result) GenerateVerboseCPL() string {
+	var b strings.Builder
+	classes := make([]string, 0, len(r.PerClass))
+	for c := range r.PerClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		for _, c := range r.PerClass[class] {
+			fmt.Fprintf(&b, "$%s -> %s\n", class, c.CPL)
+		}
+	}
+	for _, c := range r.Constraints {
+		if c.Kind == KindEquality {
+			fmt.Fprintf(&b, "$%s %s\n", c.Class, c.CPL)
+		}
+	}
+	return b.String()
+}
+
+// GenerateCPL renders the inferred constraints as a CPL specification
+// file: one statement per class combining its predicate fragments, plus
+// one statement per equality.
+func (r *Result) GenerateCPL() string {
+	var b strings.Builder
+	b.WriteString("// Specifications inferred by ConfValley's inference engine.\n")
+	fmt.Fprintf(&b, "// %d classes, %d instances analyzed; %d constraints.\n\n",
+		r.ClassesAnalyzed, r.InstancesAnalyzed, len(r.Constraints))
+	classes := make([]string, 0, len(r.PerClass))
+	for c := range r.PerClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		cs := r.PerClass[class]
+		frags := make([]string, 0, len(cs))
+		for _, c := range cs {
+			frags = append(frags, c.CPL)
+		}
+		fmt.Fprintf(&b, "$%s -> %s\n", class, strings.Join(frags, " & "))
+	}
+	for _, c := range r.Constraints {
+		if c.Kind == KindEquality {
+			fmt.Fprintf(&b, "$%s %s\n", c.Class, c.CPL)
+		}
+	}
+	return b.String()
+}

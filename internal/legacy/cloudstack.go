@@ -1,0 +1,181 @@
+package legacy
+
+import (
+	"strconv"
+	"strings"
+
+	"confvalley/internal/config"
+	"confvalley/internal/vtype"
+)
+
+// ValidateCloudStack is the imperative counterpart of
+// specs/cloudstack.cpl: fifteen checks over CloudStack global settings,
+// load balancers and zones, in the style of the Java snippets the paper
+// quotes in Listing 3 (per-setting positive-integer parsing, HashSet
+// uniqueness tests).
+func ValidateCloudStack(st *config.Store) *ErrorList {
+	errs := &ErrorList{}
+	checkCSPositiveInt(st, errs, "event.purge.interval")
+	checkCSPositiveInt(st, errs, "alert.wait")
+	checkCSPositiveInt(st, errs, "account.cleanup.interval")
+	checkCSPositiveInt(st, errs, "expunge.delay")
+	checkCSPositiveInt(st, errs, "expunge.interval")
+	checkCSPositiveInt(st, errs, "network.throttling.rate")
+	checkCSMaxPublicIPs(st, errs)
+	checkCSLoadThreshold(st, errs)
+	checkCSOverprovisioning(st, errs)
+	checkCSLoadBalancerAddresses(st, errs)
+	checkCSLoadBalancerLocations(st, errs)
+	checkCSLoadBalancerAlgorithms(st, errs)
+	checkCSZoneCidrs(st, errs)
+	checkCSZoneDns(st, errs)
+	checkCSZoneNames(st, errs)
+	return errs
+}
+
+// globalSetting finds the GlobalSettings entries with the given dotted
+// name.
+func globalSetting(st *config.Store, name string) []*config.Instance {
+	var out []*config.Instance
+	for _, in := range st.Instances() {
+		segs := in.Key.Segs
+		if len(segs) == 2 && segs[0].Name == "GlobalSettings" && segs[1].Name == name {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// lbField finds a LoadBalancers element field.
+func lbField(st *config.Store, field string) []*config.Instance {
+	var out []*config.Instance
+	for _, in := range st.Instances() {
+		segs := in.Key.Segs
+		if len(segs) == 2 && segs[0].Name == "LoadBalancers" && segs[1].Name == field {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func zoneField(st *config.Store, field string) []*config.Instance {
+	var out []*config.Instance
+	for _, in := range st.Instances() {
+		segs := in.Key.Segs
+		if len(segs) == 2 && segs[0].Name == "Zones" && segs[1].Name == field {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// checkCSPositiveInt mirrors the Listing 3 positive-integer snippet:
+// parse and require a value greater than zero.
+func checkCSPositiveInt(st *config.Store, errs *ErrorList, name string) {
+	for _, in := range globalSetting(st, name) {
+		val, err := strconv.ParseInt(strings.TrimSpace(in.Value), 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "error parsing integer value for: %s", name)
+			continue
+		}
+		if val <= 0 {
+			errs.Addf(in.Key.String(), "enter a positive value for: %s", name)
+		}
+	}
+}
+
+func checkCSMaxPublicIPs(st *config.Store, errs *ErrorList) {
+	for _, in := range globalSetting(st, "max.account.public.ips") {
+		val, err := strconv.ParseInt(strings.TrimSpace(in.Value), 10, 64)
+		if err != nil || val < 1 || val > 1000 {
+			errs.Addf(in.Key.String(), "max.account.public.ips %q must be in [1, 1000]", in.Value)
+		}
+	}
+}
+
+func checkCSLoadThreshold(st *config.Store, errs *ErrorList) {
+	for _, in := range globalSetting(st, "agent.load.threshold") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(in.Value), 64)
+		if err != nil || f < 0 || f > 1 {
+			errs.Addf(in.Key.String(), "agent.load.threshold %q must be a ratio in [0, 1]", in.Value)
+		}
+	}
+}
+
+func checkCSOverprovisioning(st *config.Store, errs *ErrorList) {
+	for _, in := range globalSetting(st, "storage.overprovisioning.factor") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(in.Value), 64)
+		if err != nil || f < 1 || f > 10 {
+			errs.Addf(in.Key.String(), "storage.overprovisioning.factor %q must be in [1, 10]", in.Value)
+		}
+	}
+}
+
+// checkCSLoadBalancerAddresses mirrors the Listing 3 uniqueness snippet.
+func checkCSLoadBalancerAddresses(st *config.Store, errs *ErrorList) {
+	ipList := make(map[string]bool)
+	for _, in := range lbField(st, "Address") {
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "LoadBalancer address %q is not an IP address", in.Value)
+			continue
+		}
+		if ipList[in.Value] {
+			errs.Addf(in.Key.String(), "LoadBalancer address %s is not unique", in.Value)
+		}
+		ipList[in.Value] = true
+	}
+}
+
+func checkCSLoadBalancerLocations(st *config.Store, errs *ErrorList) {
+	locationList := make(map[string]bool)
+	for _, in := range lbField(st, "Location") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "LoadBalancer location must not be empty")
+			continue
+		}
+		if locationList[in.Value] {
+			errs.Addf(in.Key.String(), "LoadBalancer location %s is not unique", in.Value)
+		}
+		locationList[in.Value] = true
+	}
+}
+
+func checkCSLoadBalancerAlgorithms(st *config.Store, errs *ErrorList) {
+	for _, in := range lbField(st, "Algorithm") {
+		switch in.Value {
+		case "roundrobin", "leastconn", "source":
+		default:
+			errs.Addf(in.Key.String(), "LoadBalancer algorithm %q is not supported", in.Value)
+		}
+	}
+}
+
+func checkCSZoneCidrs(st *config.Store, errs *ErrorList) {
+	for _, in := range zoneField(st, "GuestCidr") {
+		if !vtype.IsCIDR(in.Value) {
+			errs.Addf(in.Key.String(), "zone guest CIDR %q is not valid CIDR notation", in.Value)
+		}
+	}
+}
+
+func checkCSZoneDns(st *config.Store, errs *ErrorList) {
+	for _, in := range zoneField(st, "Dns1") {
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "zone DNS %q is not an IP address", in.Value)
+		}
+	}
+}
+
+func checkCSZoneNames(st *config.Store, errs *ErrorList) {
+	names := make(map[string]bool)
+	for _, in := range zoneField(st, "Name") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "zone name must not be empty")
+			continue
+		}
+		if names[in.Value] {
+			errs.Addf(in.Key.String(), "zone name %q is not unique", in.Value)
+		}
+		names[in.Value] = true
+	}
+}

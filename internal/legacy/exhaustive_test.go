@@ -1,0 +1,125 @@
+package legacy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"confvalley/internal/azuregen"
+	"confvalley/internal/config"
+	"confvalley/internal/vtype"
+	"confvalley/specs"
+)
+
+// TestTypeBExhaustiveDifferential corrupts one instance of every Type B
+// class covered by the 62-check suite with a kind-appropriate bad value,
+// then requires the imperative module and the CPL suite to report exactly
+// the same violating keys. This exercises every check's failure branch.
+func TestTypeBExhaustiveDifferential(t *testing.T) {
+	corpus := azuregen.GenerateB(0.003, 31)
+	st := corpus.Store
+
+	stems := []string{"Timeout", "Retries", "Threshold", "Endpoint", "Path",
+		"Enabled", "Replicas", "Interval", "Limit", "Capacity", "Address",
+		"Prefix", "Owner", "Account", "Secret", "Token", "Version", "Mode",
+		"Pool", "Quota", "Weight", "Region", "Zone", "Port", "Ttl", "BatchSize"}
+
+	corrupted := 0
+	for ci := 0; ci < 62; ci++ {
+		class := fmt.Sprintf("Cluster.Node.Node%s%d", stems[ci%26], ci)
+		ins := st.ClassInstances(class)
+		if len(ins) == 0 {
+			t.Fatalf("missing class %s", class)
+		}
+		target := ins[ci%len(ins)]
+		switch kind := ci % 10; {
+		case kind < 3: // consistent int -> flip the constant
+			target.Value = target.Value + "9"
+		case kind < 6: // ranged int -> way out of range
+			target.Value = "100000"
+		case kind < 8: // unique ip -> duplicate the first instance
+			target = ins[len(ins)-1]
+			target.Value = ins[0].Value
+		case kind < 9: // bool -> non-boolean
+			target.Value = "perhaps"
+		default: // profile text -> wrong label
+			target.Value = "not a label"
+		}
+		corrupted++
+	}
+	st.InvalidateCache()
+
+	legacyKeys := ValidateTypeB(st).Keys()
+	cpl := cplKeys(t, st, specs.AzureTypeB(), nil)
+	if len(legacyKeys) != corrupted {
+		t.Errorf("legacy reported %d keys, corrupted %d", len(legacyKeys), corrupted)
+	}
+	sort.Strings(legacyKeys)
+	if strings.Join(legacyKeys, "\n") != strings.Join(cpl, "\n") {
+		// Show the difference compactly.
+		seen := make(map[string]int)
+		for _, k := range legacyKeys {
+			seen[k] |= 1
+		}
+		for _, k := range cpl {
+			seen[k] |= 2
+		}
+		for k, v := range seen {
+			if v != 3 {
+				t.Errorf("disagreement (%s): %s", []string{"", "legacy-only", "cpl-only"}[v], k)
+			}
+		}
+	}
+}
+
+// TestTypeAExhaustiveDifferential drives every expert check's failure
+// branch: each relational error kind in its own cluster, plus the scalar
+// corruptions the rotation misses.
+func TestTypeAExhaustiveDifferential(t *testing.T) {
+	st := azuregenSubstrate(t)
+	env := azuregen.ExpertEnv()
+	// Rotate through all four relational kinds.
+	azuregen.InjectExpertErrors(st, 25, 4, 5)
+	// Scalar corruptions on dedicated clusters.
+	mutateKey(t, st, "Cluster::exp-c020[21].VipStart", "not-an-ip")
+	mutateKey(t, st, "Cluster::exp-c021[22].ControllerReplicas", "99")
+	mutateKey(t, st, "Cluster::exp-c022[23].Rack::r1[2].Blade::b2[3].BladeID", "400")
+	mutateKey(t, st, "Cluster::exp-c023[24].OSBuildPath", `\\cfgshare\builds\os\missing\image.vhd`)
+	mutateKey(t, st, "Cluster::exp-c024[25].TokenService.Endpoint", "not a url")
+	mutateKey(t, st, "Cluster::exp-c019[20].LoadBalancerSet::lbs1[2].Device", "")
+	st.InvalidateCache()
+
+	legacyKeys := ValidateTypeA(st, env).Keys()
+	cpl := cplKeys(t, st, specs.AzureTypeA(), env)
+	sameKeys(t, "Type A exhaustive", legacyKeys, cpl)
+	if len(legacyKeys) < 9 {
+		t.Errorf("only %d keys flagged; expected ≥9", len(legacyKeys))
+	}
+}
+
+func azuregenSubstrate(t *testing.T) *config.Store {
+	t.Helper()
+	st := config.NewStore()
+	azuregen.AddExpertSubstrate(st, 25, 9)
+	return st
+}
+
+func mutateKey(t *testing.T, st *config.Store, key, val string) {
+	t.Helper()
+	for _, in := range st.Instances() {
+		if in.Key.String() == key {
+			in.Value = val
+			return
+		}
+	}
+	t.Fatalf("no instance %s", key)
+}
+
+// Guard: vtype must agree a corrupted IP really is invalid, so the
+// corruption above cannot silently become benign.
+func TestCorruptionSanity(t *testing.T) {
+	if vtype.IsIP("not-an-ip") {
+		t.Fatal("corruption value is accidentally valid")
+	}
+}

@@ -1,0 +1,88 @@
+package legacy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"confvalley/internal/azuregen"
+	"confvalley/internal/config"
+	"confvalley/internal/driver"
+	"confvalley/specs"
+)
+
+// TestFuzzDifferentialTypeA corrupts random substrate instances with
+// random mutations and requires the imperative module and the CPL suite
+// to agree on the violating keys, seed after seed. This is the repo's
+// strongest oracle: any divergence is a bug in one of the two
+// implementations (a previous run of this family caught the cascading
+// VIP-containment failure documented in specs/azure_type_a.cpl).
+func TestFuzzDifferentialTypeA(t *testing.T) {
+	mutations := []func(rng *rand.Rand, v string) string{
+		func(_ *rand.Rand, _ string) string { return "" },
+		func(_ *rand.Rand, _ string) string { return "garbage value" },
+		func(_ *rand.Rand, v string) string { return v + "x" },
+		func(rng *rand.Rand, _ string) string { return []string{"0", "99", "-3"}[rng.Intn(3)] },
+		func(_ *rand.Rand, _ string) string { return "10.250.0.10-10.250.0.99" },
+		func(_ *rand.Rand, _ string) string { return "http://plain.example.net" },
+	}
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		st := config.NewStore()
+		azuregen.AddExpertSubstrate(st, 12, seed)
+		env := azuregen.ExpertEnv()
+
+		// Corrupt 1-4 random instances.
+		ins := st.Instances()
+		nMut := 1 + rng.Intn(4)
+		for m := 0; m < nMut; m++ {
+			target := ins[rng.Intn(len(ins))]
+			target.Value = mutations[rng.Intn(len(mutations))](rng, target.Value)
+		}
+		st.InvalidateCache()
+
+		legacyKeys := sorted(ValidateTypeA(st, env).Keys())
+		cpl := cplKeys(t, st, specs.AzureTypeA(), env)
+		if strings.Join(legacyKeys, "\n") != strings.Join(cpl, "\n") {
+			t.Errorf("seed %d: verdicts differ\nlegacy:\n  %s\ncpl:\n  %s",
+				seed, strings.Join(legacyKeys, "\n  "), strings.Join(cpl, "\n  "))
+		}
+	}
+}
+
+// TestFuzzDifferentialCloudStack does the same over the CloudStack data
+// and checks.
+func TestFuzzDifferentialCloudStack(t *testing.T) {
+	base := specs.CloudStackConfig()
+	replacements := [][2]string{
+		{`"event.purge.interval": 86400`, `"event.purge.interval": -1`},
+		{`"agent.load.threshold": 0.7`, `"agent.load.threshold": 7.7`},
+		{`"Address": "10.2.1.1"`, `"Address": "10.1.1.1"`},
+		{`"GuestCidr": "10.2.0.0/16"`, `"GuestCidr": "300.2.0.0/16"`},
+		{`"Algorithm": "leastconn"`, `"Algorithm": "fastest"`},
+		{`"Dns1": "8.8.4.4"`, `"Dns1": "dns.example"`},
+		{`"Name": "zone2"`, `"Name": "zone1"`},
+	}
+	for mask := 1; mask < 1<<len(replacements); mask *= 2 {
+		doc := string(base)
+		for i, r := range replacements {
+			if mask&(1<<i) != 0 {
+				doc = strings.Replace(doc, r[0], r[1], 1)
+			}
+		}
+		st := config.NewStore()
+		if _, err := loadJSON(st, doc); err != nil {
+			t.Fatal(err)
+		}
+		legacyKeys := sorted(ValidateCloudStack(st).Keys())
+		cpl := cplKeys(t, st, specs.CloudStack(), nil)
+		if strings.Join(legacyKeys, "\n") != strings.Join(cpl, "\n") {
+			t.Errorf("mask %d: verdicts differ\nlegacy:\n  %s\ncpl:\n  %s",
+				mask, strings.Join(legacyKeys, "\n  "), strings.Join(cpl, "\n  "))
+		}
+	}
+}
+
+func loadJSON(st *config.Store, doc string) (int, error) {
+	return driver.LoadInto(st, "json", []byte(doc), "cloudstack.json", "")
+}

@@ -1,0 +1,118 @@
+// Package legacy contains imperative validation modules written in the
+// ad hoc style the paper's baselines use (§6.1, Listings 2 and 3):
+// validation logic entangled with instance discovery, per-check loops,
+// hand-rolled parsing, and hand-written error messages. Each module
+// duplicates, line for semantic line, one of the CPL suites in specs/ —
+// they are the "Orig. code" column of Tables 3 and 4, and the behavioral
+// baseline the engine's verdicts are differentially tested against.
+//
+// The code below is intentionally conventional: it is what the checks
+// look like without a validation language. Do not refactor it to be
+// clever; its verbosity is the point of the comparison.
+package legacy
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+
+	"confvalley/internal/config"
+)
+
+// Violation is one failed ad hoc check.
+type Violation struct {
+	Key     string
+	Message string
+}
+
+// String renders the violation.
+func (v Violation) String() string { return v.Key + ": " + v.Message }
+
+// ErrorList accumulates violations the way the ad hoc scripts append to
+// output lists.
+type ErrorList struct {
+	Violations []Violation
+}
+
+// Addf appends a formatted violation.
+func (e *ErrorList) Addf(key, format string, args ...interface{}) {
+	e.Violations = append(e.Violations, Violation{Key: key, Message: fmt.Sprintf(format, args...)})
+}
+
+// Keys returns the distinct violation keys in order.
+func (e *ErrorList) Keys() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, v := range e.Violations {
+		if !seen[v.Key] {
+			seen[v.Key] = true
+			out = append(out, v.Key)
+		}
+	}
+	return out
+}
+
+// instancesOf walks the whole store collecting instances whose class path
+// equals the given dotted path — the hand-rolled discovery loop every ad
+// hoc module reimplements (Listing 2).
+func instancesOf(st *config.Store, classPath string) []*config.Instance {
+	var out []*config.Instance
+	for _, in := range st.Instances() {
+		if in.Key.ClassPath() == classPath {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// groupByPrefix buckets instances by the first n segments of their key,
+// the manual equivalent of compartment scoping.
+func groupByPrefix(ins []*config.Instance, n int) (order []string, groups map[string][]*config.Instance) {
+	groups = make(map[string][]*config.Instance)
+	for _, in := range ins {
+		p := in.Key.PrefixString(n)
+		if _, ok := groups[p]; !ok {
+			order = append(order, p)
+		}
+		groups[p] = append(groups[p], in)
+	}
+	return order, groups
+}
+
+// Sources embeds this package's own Go files so the benchmark harness can
+// measure the imperative modules' code size (the "Orig. code LOC" columns
+// of Tables 3 and 4).
+//
+//go:embed *.go
+var Sources embed.FS
+
+// ModuleLoC counts the non-blank, non-comment lines of one legacy module
+// file (e.g. "typea.go").
+func ModuleLoC(file string) (int, error) {
+	b, err := Sources.ReadFile(file)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	inBlock := false
+	for _, line := range strings.Split(string(b), "\n") {
+		t := strings.TrimSpace(line)
+		if inBlock {
+			if strings.Contains(t, "*/") {
+				inBlock = false
+			}
+			continue
+		}
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		if strings.HasPrefix(t, "/*") {
+			if !strings.Contains(t, "*/") {
+				inBlock = true
+			}
+			continue
+		}
+		n++
+	}
+	return n, nil
+}

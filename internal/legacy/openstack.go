@@ -1,0 +1,236 @@
+package legacy
+
+import (
+	"strconv"
+	"strings"
+
+	"confvalley/internal/config"
+	"confvalley/internal/vtype"
+)
+
+// ValidateOpenStack is the imperative counterpart of specs/openstack.cpl:
+// nineteen Rubick-style checks over keystone, nova, glance and neutron
+// settings (Table 4 of the paper).
+func ValidateOpenStack(st *config.Store) *ErrorList {
+	errs := &ErrorList{}
+	checkKeystoneAuthHost(st, errs)
+	checkKeystoneAuthPort(st, errs)
+	checkKeystoneAuthProtocol(st, errs)
+	checkKeystoneAdminToken(st, errs)
+	checkKeystoneTokenExpiration(st, errs)
+	checkNovaRabbitHost(st, errs)
+	checkNovaRabbitPort(st, errs)
+	checkNovaRabbitUser(st, errs)
+	checkNovaRabbitPassword(st, errs)
+	checkNovaCPURatio(st, errs)
+	checkNovaRAMRatio(st, errs)
+	checkNovaScheduler(st, errs)
+	checkNovaListenAddress(st, errs)
+	checkNovaListenPort(st, errs)
+	checkGlanceAPIServers(st, errs)
+	checkGlanceRegistryHost(st, errs)
+	checkGlanceRegistryPort(st, errs)
+	checkNeutronCorePlugin(st, errs)
+	checkNeutronOverlappingIPs(st, errs)
+	return errs
+}
+
+// serviceSetting finds all instances of <service>.<key> regardless of the
+// scope instance indexes the YAML driver assigned.
+func serviceSetting(st *config.Store, service, key string) []*config.Instance {
+	var out []*config.Instance
+	for _, in := range st.Instances() {
+		segs := in.Key.Segs
+		if len(segs) == 2 && segs[0].Name == service && segs[1].Name == key {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func checkPortSetting(st *config.Store, errs *ErrorList, service, key string) {
+	for _, in := range serviceSetting(st, service, key) {
+		n, err := strconv.Atoi(strings.TrimSpace(in.Value))
+		if err != nil || n < 1 || n > 65535 {
+			errs.Addf(in.Key.String(), "%s.%s %q is not a valid port", service, key, in.Value)
+		}
+	}
+}
+
+func checkKeystoneAuthHost(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "keystone", "auth_host") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "keystone.auth_host must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "keystone.auth_host %q is not an IP address", in.Value)
+		}
+	}
+}
+
+func checkKeystoneAuthPort(st *config.Store, errs *ErrorList) {
+	checkPortSetting(st, errs, "keystone", "auth_port")
+}
+
+func checkKeystoneAuthProtocol(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "keystone", "auth_protocol") {
+		if in.Value != "http" && in.Value != "https" {
+			errs.Addf(in.Key.String(), "keystone.auth_protocol %q must be http or https", in.Value)
+		}
+	}
+}
+
+func checkKeystoneAdminToken(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "keystone", "admin_token") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "keystone.admin_token must not be empty")
+			continue
+		}
+		if len(in.Value) < 16 {
+			errs.Addf(in.Key.String(), "keystone.admin_token is too short (%d chars; need 16)", len(in.Value))
+		}
+	}
+}
+
+func checkKeystoneTokenExpiration(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "keystone", "token_expiration") {
+		n, err := strconv.Atoi(strings.TrimSpace(in.Value))
+		if err != nil {
+			errs.Addf(in.Key.String(), "keystone.token_expiration %q is not an integer", in.Value)
+			continue
+		}
+		if n < 300 || n > 86400 {
+			errs.Addf(in.Key.String(), "keystone.token_expiration %d is outside [300, 86400]", n)
+		}
+	}
+}
+
+func checkNovaRabbitHost(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "nova", "rabbit_host") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "nova.rabbit_host must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) && !vtype.IsHostname(in.Value) {
+			errs.Addf(in.Key.String(), "nova.rabbit_host %q is neither an IP nor a hostname", in.Value)
+		}
+	}
+}
+
+func checkNovaRabbitPort(st *config.Store, errs *ErrorList) {
+	checkPortSetting(st, errs, "nova", "rabbit_port")
+}
+
+func checkNovaRabbitUser(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "nova", "rabbit_userid") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "nova.rabbit_userid must not be empty")
+		}
+	}
+}
+
+func checkNovaRabbitPassword(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "nova", "rabbit_password") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "nova.rabbit_password must not be empty")
+			continue
+		}
+		if strings.Contains(in.Value, "changeme") {
+			errs.Addf(in.Key.String(), "nova.rabbit_password still carries the placeholder value")
+		}
+	}
+}
+
+func checkRatioSetting(st *config.Store, errs *ErrorList, key string, lo, hi float64) {
+	for _, in := range serviceSetting(st, "nova", key) {
+		f, err := strconv.ParseFloat(strings.TrimSpace(in.Value), 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "nova.%s %q is not a number", key, in.Value)
+			continue
+		}
+		if f < lo || f > hi {
+			errs.Addf(in.Key.String(), "nova.%s %g is outside [%g, %g]", key, f, lo, hi)
+		}
+	}
+}
+
+func checkNovaCPURatio(st *config.Store, errs *ErrorList) {
+	checkRatioSetting(st, errs, "cpu_allocation_ratio", 1, 32)
+}
+
+func checkNovaRAMRatio(st *config.Store, errs *ErrorList) {
+	checkRatioSetting(st, errs, "ram_allocation_ratio", 1, 4)
+}
+
+func checkNovaScheduler(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "nova", "scheduler_driver") {
+		if in.Value != "filter_scheduler" && in.Value != "chance_scheduler" {
+			errs.Addf(in.Key.String(), "nova.scheduler_driver %q is not a known scheduler", in.Value)
+		}
+	}
+}
+
+func checkNovaListenAddress(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "nova", "osapi_compute_listen") {
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "nova.osapi_compute_listen %q is not an IP address", in.Value)
+		}
+	}
+}
+
+func checkNovaListenPort(st *config.Store, errs *ErrorList) {
+	checkPortSetting(st, errs, "nova", "osapi_compute_listen_port")
+}
+
+func checkGlanceAPIServers(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "glance", "api_servers") {
+		servers := strings.Split(in.Value, ",")
+		for _, srv := range servers {
+			srv = strings.TrimSpace(srv)
+			colon := strings.LastIndex(srv, ":")
+			if colon < 0 {
+				errs.Addf(in.Key.String(), "glance.api_servers entry %q lacks a port", srv)
+				continue
+			}
+			n, err := strconv.Atoi(srv[colon+1:])
+			if err != nil || n < 1 || n > 65535 {
+				errs.Addf(in.Key.String(), "glance.api_servers entry %q has an invalid port", srv)
+			}
+		}
+	}
+}
+
+func checkGlanceRegistryHost(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "glance", "registry_host") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "glance.registry_host must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "glance.registry_host %q is not an IP address", in.Value)
+		}
+	}
+}
+
+func checkGlanceRegistryPort(st *config.Store, errs *ErrorList) {
+	checkPortSetting(st, errs, "glance", "registry_port")
+}
+
+func checkNeutronCorePlugin(st *config.Store, errs *ErrorList) {
+	known := map[string]bool{"ml2": true, "openvswitch": true, "linuxbridge": true}
+	for _, in := range serviceSetting(st, "neutron", "core_plugin") {
+		if !known[in.Value] {
+			errs.Addf(in.Key.String(), "neutron.core_plugin %q is not a known plugin", in.Value)
+		}
+	}
+}
+
+func checkNeutronOverlappingIPs(st *config.Store, errs *ErrorList) {
+	for _, in := range serviceSetting(st, "neutron", "allow_overlapping_ips") {
+		low := strings.ToLower(in.Value)
+		if low != "true" && low != "false" {
+			errs.Addf(in.Key.String(), "neutron.allow_overlapping_ips %q is not a boolean", in.Value)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package legacy
+
+import (
+	"strconv"
+	"strings"
+
+	"confvalley/internal/config"
+	"confvalley/internal/simenv"
+	"confvalley/internal/vtype"
+)
+
+// ValidateTypeA is the imperative counterpart of specs/azure_type_a.cpl:
+// seventeen checks over the cluster substrate, written the way the
+// original stand-alone tools wrote them — discover instances by walking
+// the data, group by cluster by hand, parse values inline, and format
+// every error message manually.
+func ValidateTypeA(st *config.Store, env simenv.Env) *ErrorList {
+	errs := &ErrorList{}
+	checkVipRangeContainment(st, errs)
+	checkMacIpCounts(st, errs)
+	checkSslEndpoints(st, errs)
+	checkPrimaryBackupDistinct(st, errs)
+	checkVipOrdering(st, errs)
+	checkTokenServiceHTTPS(st, errs)
+	checkBladeIDs(st, errs)
+	checkBladeIDUniquePerRack(st, errs)
+	checkAddressWellFormed(st, errs, "Cluster.VipStart")
+	checkAddressWellFormed(st, errs, "Cluster.VipEnd")
+	checkAddressWellFormed(st, errs, "Cluster.PrimaryIP")
+	checkAddressWellFormed(st, errs, "Cluster.BackupIP")
+	checkControllerReplicas(st, errs)
+	checkLoadBalancerDevices(st, errs)
+	checkOSBuildPathExists(st, errs, env)
+	checkOSBuildPathConsistent(st, errs)
+	checkTokenServiceEndpoints(st, errs)
+	return errs
+}
+
+// clusterValue finds the single value of a per-cluster parameter under
+// the given cluster prefix, or "" when absent.
+func clusterValue(group []*config.Instance, leafPath string) (string, *config.Instance) {
+	for _, in := range group {
+		path := in.Key.ClassPath()
+		if strings.HasSuffix(path, "."+leafPath) || path == leafPath {
+			return in.Value, in
+		}
+	}
+	return "", nil
+}
+
+// clusterGroups collects all instances under each Cluster scope.
+func clusterGroups(st *config.Store) (order []string, groups map[string][]*config.Instance) {
+	var all []*config.Instance
+	for _, in := range st.Instances() {
+		if len(in.Key.Segs) >= 2 && in.Key.Segs[0].Name == "Cluster" {
+			all = append(all, in)
+		}
+	}
+	return groupByPrefix(all, 1)
+}
+
+func checkVipRangeContainment(st *config.Store, errs *ErrorList) {
+	order, groups := clusterGroups(st)
+	for _, cl := range order {
+		group := groups[cl]
+		startStr, _ := clusterValue(group, "Cluster.VipStart")
+		endStr, _ := clusterValue(group, "Cluster.VipEnd")
+		start, okS := vtype.ParseIP(startStr)
+		end, okE := vtype.ParseIP(endStr)
+		if !okS || !okE {
+			continue // well-formedness reported by another check
+		}
+		for _, in := range group {
+			if in.Key.ClassPath() != "Cluster.LoadBalancerSet.VipRanges" {
+				continue
+			}
+			ranges := strings.Split(in.Value, ";")
+			for _, rg := range ranges {
+				parts := strings.Split(rg, "-")
+				for _, p := range parts {
+					ip, ok := vtype.ParseIP(strings.TrimSpace(p))
+					if !ok {
+						errs.Addf(in.Key.String(), "VIP range endpoint %q is not an IP address", p)
+						continue
+					}
+					if vtype.CompareIP(ip, start) < 0 || vtype.CompareIP(ip, end) > 0 {
+						errs.Addf(in.Key.String(),
+							"VIP range of a load balancer set is not contained in VIP range of its cluster (%s outside %s-%s)",
+							p, startStr, endStr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkMacIpCounts(st *config.Store, errs *ErrorList) {
+	order, groups := clusterGroups(st)
+	for _, cl := range order {
+		group := groups[cl]
+		macStr, macIn := clusterValue(group, "Cluster.MacRange")
+		ipStr, _ := clusterValue(group, "Cluster.IpRange")
+		if macIn == nil || ipStr == "" && macStr == "" {
+			continue
+		}
+		macCount := len(strings.Split(macStr, ";"))
+		ipCount := len(strings.Split(ipStr, ";"))
+		if macCount != ipCount {
+			errs.Addf(macIn.Key.String(),
+				"inconsistent number of addresses in MAC range (%d) and IP range (%d)", macCount, ipCount)
+		}
+	}
+}
+
+func checkSslEndpoints(st *config.Store, errs *ErrorList) {
+	order, groups := clusterGroups(st)
+	for _, cl := range order {
+		group := groups[cl]
+		ssl, _ := clusterValue(group, "Cluster.Proxy.SSL")
+		if !strings.EqualFold(ssl, "true") {
+			continue
+		}
+		ep, epIn := clusterValue(group, "Cluster.Proxy.Endpoint")
+		if epIn == nil {
+			continue
+		}
+		if !strings.HasPrefix(ep, "https://") {
+			errs.Addf(epIn.Key.String(), "proxy endpoint %q must be HTTPS when SSL is enabled", ep)
+		}
+	}
+}
+
+func checkPrimaryBackupDistinct(st *config.Store, errs *ErrorList) {
+	order, groups := clusterGroups(st)
+	for _, cl := range order {
+		group := groups[cl]
+		prim, primIn := clusterValue(group, "Cluster.PrimaryIP")
+		back, _ := clusterValue(group, "Cluster.BackupIP")
+		if primIn == nil || back == "" {
+			continue
+		}
+		if prim == back {
+			errs.Addf(primIn.Key.String(), "primary and backup addresses are both %q; the redundant pair is useless", prim)
+		}
+	}
+}
+
+func checkVipOrdering(st *config.Store, errs *ErrorList) {
+	order, groups := clusterGroups(st)
+	for _, cl := range order {
+		group := groups[cl]
+		startStr, startIn := clusterValue(group, "Cluster.VipStart")
+		endStr, _ := clusterValue(group, "Cluster.VipEnd")
+		start, okS := vtype.ParseIP(startStr)
+		end, okE := vtype.ParseIP(endStr)
+		if startIn == nil || !okS || !okE {
+			continue
+		}
+		if vtype.CompareIP(start, end) > 0 {
+			errs.Addf(startIn.Key.String(), "VIP range start %s is above its end %s", startStr, endStr)
+		}
+	}
+}
+
+func checkTokenServiceHTTPS(st *config.Store, errs *ErrorList) {
+	order, groups := clusterGroups(st)
+	for _, cl := range order {
+		group := groups[cl]
+		enabled, _ := clusterValue(group, "Cluster.TokenService.Enabled")
+		if !strings.EqualFold(enabled, "true") {
+			continue
+		}
+		ep, epIn := clusterValue(group, "Cluster.TokenService.Endpoint")
+		if epIn == nil {
+			continue
+		}
+		if !strings.HasPrefix(ep, "https://") {
+			errs.Addf(epIn.Key.String(), "token service endpoint %q must be HTTPS while the service is enabled", ep)
+		}
+	}
+}
+
+func checkBladeIDs(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Rack.Blade.BladeID") {
+		id, err := strconv.Atoi(strings.TrimSpace(in.Value))
+		if err != nil {
+			errs.Addf(in.Key.String(), "BladeID %q is not an integer", in.Value)
+			continue
+		}
+		if id < 1 || id > 48 {
+			errs.Addf(in.Key.String(), "BladeID %d is outside the chassis range [1, 48]", id)
+		}
+	}
+}
+
+func checkBladeIDUniquePerRack(st *config.Store, errs *ErrorList) {
+	blades := instancesOf(st, "Cluster.Rack.Blade.BladeID")
+	order, groups := groupByPrefix(blades, 2)
+	for _, rack := range order {
+		seen := make(map[string]bool)
+		for _, in := range groups[rack] {
+			if seen[in.Value] {
+				errs.Addf(in.Key.String(), "bad BladeID: %q duplicates another blade in rack %s", in.Value, rack)
+			}
+			seen[in.Value] = true
+		}
+	}
+}
+
+func checkAddressWellFormed(st *config.Store, errs *ErrorList, classPath string) {
+	for _, in := range instancesOf(st, classPath) {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "%s must not be empty", classPath)
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "%s value %q is not an IP address", classPath, in.Value)
+		}
+	}
+}
+
+func checkControllerReplicas(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.ControllerReplicas") {
+		n, err := strconv.Atoi(strings.TrimSpace(in.Value))
+		if err != nil {
+			errs.Addf(in.Key.String(), "ControllerReplicas %q is not an integer", in.Value)
+			continue
+		}
+		if n < 3 || n > 9 {
+			errs.Addf(in.Key.String(), "ControllerReplicas %d is outside the supported window [3, 9]", n)
+		}
+	}
+}
+
+func checkLoadBalancerDevices(st *config.Store, errs *ErrorList) {
+	devices := instancesOf(st, "Cluster.LoadBalancerSet.Device")
+	seen := make(map[string]bool)
+	for _, in := range devices {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "load balancer set has no device name")
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "load balancer device %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+func checkOSBuildPathExists(st *config.Store, errs *ErrorList, env simenv.Env) {
+	for _, in := range instancesOf(st, "Cluster.OSBuildPath") {
+		if !vtype.IsPathLike(in.Value) {
+			errs.Addf(in.Key.String(), "OSBuildPath %q is not a path", in.Value)
+			continue
+		}
+		if !env.PathExists(in.Value) {
+			errs.Addf(in.Key.String(), "OSBuildPath %q does not exist on the build share", in.Value)
+		}
+	}
+}
+
+func checkOSBuildPathConsistent(st *config.Store, errs *ErrorList) {
+	paths := instancesOf(st, "Cluster.OSBuildPath")
+	counts := make(map[string]int)
+	for _, in := range paths {
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range paths {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range paths {
+		if in.Value != majority {
+			errs.Addf(in.Key.String(), "OSBuildPath %q is inconsistent with the fleet-wide image %q", in.Value, majority)
+		}
+	}
+}
+
+func checkTokenServiceEndpoints(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.TokenService.Endpoint") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "token service endpoint must not be empty")
+			continue
+		}
+		if !vtype.IsURL(in.Value) {
+			errs.Addf(in.Key.String(), "token service endpoint %q is not a URL", in.Value)
+		}
+	}
+}

@@ -1,0 +1,1410 @@
+package legacy
+
+import (
+	"strconv"
+	"strings"
+
+	"confvalley/internal/config"
+	"confvalley/internal/vtype"
+)
+
+// ValidateTypeB is the imperative counterpart of specs/azure_type_b.cpl:
+// sixty-two per-parameter checks over the Type B per-node data, written
+// in the repetitive ad hoc style the paper measured at 3,300+ lines
+// (§6.2). Every check re-walks the store, re-parses values inline, and
+// formats its own messages; the redundancy is representative, not an
+// accident — it is exactly what the CPL rewrite eliminates.
+func ValidateTypeB(st *config.Store) *ErrorList {
+	errs := &ErrorList{}
+	checkBNodeTimeout0(st, errs)
+	checkBNodeRetries1(st, errs)
+	checkBNodeThreshold2(st, errs)
+	checkBNodeEndpoint3(st, errs)
+	checkBNodePath4(st, errs)
+	checkBNodeEnabled5(st, errs)
+	checkBNodeReplicas6(st, errs)
+	checkBNodeInterval7(st, errs)
+	checkBNodeLimit8(st, errs)
+	checkBNodeCapacity9(st, errs)
+	checkBNodeAddress10(st, errs)
+	checkBNodePrefix11(st, errs)
+	checkBNodeOwner12(st, errs)
+	checkBNodeAccount13(st, errs)
+	checkBNodeSecret14(st, errs)
+	checkBNodeToken15(st, errs)
+	checkBNodeVersion16(st, errs)
+	checkBNodeMode17(st, errs)
+	checkBNodePool18(st, errs)
+	checkBNodeQuota19(st, errs)
+	checkBNodeWeight20(st, errs)
+	checkBNodeRegion21(st, errs)
+	checkBNodeZone22(st, errs)
+	checkBNodePort23(st, errs)
+	checkBNodeTtl24(st, errs)
+	checkBNodeBatchSize25(st, errs)
+	checkBNodeTimeout26(st, errs)
+	checkBNodeRetries27(st, errs)
+	checkBNodeThreshold28(st, errs)
+	checkBNodeEndpoint29(st, errs)
+	checkBNodePath30(st, errs)
+	checkBNodeEnabled31(st, errs)
+	checkBNodeReplicas32(st, errs)
+	checkBNodeInterval33(st, errs)
+	checkBNodeLimit34(st, errs)
+	checkBNodeCapacity35(st, errs)
+	checkBNodeAddress36(st, errs)
+	checkBNodePrefix37(st, errs)
+	checkBNodeOwner38(st, errs)
+	checkBNodeAccount39(st, errs)
+	checkBNodeSecret40(st, errs)
+	checkBNodeToken41(st, errs)
+	checkBNodeVersion42(st, errs)
+	checkBNodeMode43(st, errs)
+	checkBNodePool44(st, errs)
+	checkBNodeQuota45(st, errs)
+	checkBNodeWeight46(st, errs)
+	checkBNodeRegion47(st, errs)
+	checkBNodeZone48(st, errs)
+	checkBNodePort49(st, errs)
+	checkBNodeTtl50(st, errs)
+	checkBNodeBatchSize51(st, errs)
+	checkBNodeTimeout52(st, errs)
+	checkBNodeRetries53(st, errs)
+	checkBNodeThreshold54(st, errs)
+	checkBNodeEndpoint55(st, errs)
+	checkBNodePath56(st, errs)
+	checkBNodeEnabled57(st, errs)
+	checkBNodeReplicas58(st, errs)
+	checkBNodeInterval59(st, errs)
+	checkBNodeLimit60(st, errs)
+	checkBNodeCapacity61(st, errs)
+	return errs
+}
+
+// checkBNodeTimeout0 verifies NodeTimeout0 is a consistent, nonempty integer across nodes.
+func checkBNodeTimeout0(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeTimeout0")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeTimeout0 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeTimeout0 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeTimeout0 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeRetries1 verifies NodeRetries1 is a consistent, nonempty integer across nodes.
+func checkBNodeRetries1(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeRetries1")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeRetries1 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeRetries1 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeRetries1 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeThreshold2 verifies NodeThreshold2 is a consistent, nonempty integer across nodes.
+func checkBNodeThreshold2(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeThreshold2")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeThreshold2 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeThreshold2 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeThreshold2 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeEndpoint3 verifies NodeEndpoint3 is a nonempty integer within [30, 41].
+func checkBNodeEndpoint3(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeEndpoint3") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeEndpoint3 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeEndpoint3 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 30 || n > 41 {
+			errs.Addf(in.Key.String(), "NodeEndpoint3 value %d is outside the supported range [30, 41]", n)
+		}
+	}
+}
+
+// checkBNodePath4 verifies NodePath4 is a nonempty integer within [40, 51].
+func checkBNodePath4(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodePath4") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodePath4 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodePath4 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 40 || n > 51 {
+			errs.Addf(in.Key.String(), "NodePath4 value %d is outside the supported range [40, 51]", n)
+		}
+	}
+}
+
+// checkBNodeEnabled5 verifies NodeEnabled5 is a nonempty integer within [50, 61].
+func checkBNodeEnabled5(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeEnabled5") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeEnabled5 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeEnabled5 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 50 || n > 61 {
+			errs.Addf(in.Key.String(), "NodeEnabled5 value %d is outside the supported range [50, 61]", n)
+		}
+	}
+}
+
+// checkBNodeReplicas6 verifies NodeReplicas6 is a unique, nonempty IP address per node.
+func checkBNodeReplicas6(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodeReplicas6") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeReplicas6 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodeReplicas6 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodeReplicas6 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodeInterval7 verifies NodeInterval7 is a unique, nonempty IP address per node.
+func checkBNodeInterval7(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodeInterval7") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeInterval7 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodeInterval7 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodeInterval7 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodeLimit8 verifies NodeLimit8 is a nonempty boolean flag.
+func checkBNodeLimit8(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeLimit8") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeLimit8 must not be empty")
+			continue
+		}
+		low := strings.ToLower(in.Value)
+		if low != "true" && low != "false" {
+			errs.Addf(in.Key.String(), "NodeLimit8 value %q is not a boolean", in.Value)
+		}
+	}
+}
+
+// checkBNodeCapacity9 verifies NodeCapacity9, when set, carries a node profile label.
+func checkBNodeCapacity9(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeCapacity9") {
+		if strings.TrimSpace(in.Value) == "" {
+			continue // unset is allowed
+		}
+		if !strings.Contains(in.Value, "node profile") {
+			errs.Addf(in.Key.String(), "NodeCapacity9 value %q is not a node profile label", in.Value)
+		}
+	}
+}
+
+// checkBNodeAddress10 verifies NodeAddress10 is a consistent, nonempty integer across nodes.
+func checkBNodeAddress10(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeAddress10")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeAddress10 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeAddress10 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeAddress10 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodePrefix11 verifies NodePrefix11 is a consistent, nonempty integer across nodes.
+func checkBNodePrefix11(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodePrefix11")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodePrefix11 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodePrefix11 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodePrefix11 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeOwner12 verifies NodeOwner12 is a consistent, nonempty integer across nodes.
+func checkBNodeOwner12(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeOwner12")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeOwner12 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeOwner12 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeOwner12 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeAccount13 verifies NodeAccount13 is a nonempty integer within [130, 141].
+func checkBNodeAccount13(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeAccount13") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeAccount13 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeAccount13 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 130 || n > 141 {
+			errs.Addf(in.Key.String(), "NodeAccount13 value %d is outside the supported range [130, 141]", n)
+		}
+	}
+}
+
+// checkBNodeSecret14 verifies NodeSecret14 is a nonempty integer within [140, 151].
+func checkBNodeSecret14(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeSecret14") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeSecret14 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeSecret14 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 140 || n > 151 {
+			errs.Addf(in.Key.String(), "NodeSecret14 value %d is outside the supported range [140, 151]", n)
+		}
+	}
+}
+
+// checkBNodeToken15 verifies NodeToken15 is a nonempty integer within [150, 161].
+func checkBNodeToken15(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeToken15") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeToken15 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeToken15 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 150 || n > 161 {
+			errs.Addf(in.Key.String(), "NodeToken15 value %d is outside the supported range [150, 161]", n)
+		}
+	}
+}
+
+// checkBNodeVersion16 verifies NodeVersion16 is a unique, nonempty IP address per node.
+func checkBNodeVersion16(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodeVersion16") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeVersion16 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodeVersion16 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodeVersion16 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodeMode17 verifies NodeMode17 is a unique, nonempty IP address per node.
+func checkBNodeMode17(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodeMode17") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeMode17 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodeMode17 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodeMode17 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodePool18 verifies NodePool18 is a nonempty boolean flag.
+func checkBNodePool18(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodePool18") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodePool18 must not be empty")
+			continue
+		}
+		low := strings.ToLower(in.Value)
+		if low != "true" && low != "false" {
+			errs.Addf(in.Key.String(), "NodePool18 value %q is not a boolean", in.Value)
+		}
+	}
+}
+
+// checkBNodeQuota19 verifies NodeQuota19, when set, carries a node profile label.
+func checkBNodeQuota19(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeQuota19") {
+		if strings.TrimSpace(in.Value) == "" {
+			continue // unset is allowed
+		}
+		if !strings.Contains(in.Value, "node profile") {
+			errs.Addf(in.Key.String(), "NodeQuota19 value %q is not a node profile label", in.Value)
+		}
+	}
+}
+
+// checkBNodeWeight20 verifies NodeWeight20 is a consistent, nonempty integer across nodes.
+func checkBNodeWeight20(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeWeight20")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeWeight20 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeWeight20 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeWeight20 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeRegion21 verifies NodeRegion21 is a consistent, nonempty integer across nodes.
+func checkBNodeRegion21(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeRegion21")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeRegion21 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeRegion21 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeRegion21 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeZone22 verifies NodeZone22 is a consistent, nonempty integer across nodes.
+func checkBNodeZone22(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeZone22")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeZone22 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeZone22 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeZone22 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodePort23 verifies NodePort23 is a nonempty integer within [230, 241].
+func checkBNodePort23(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodePort23") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodePort23 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodePort23 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 230 || n > 241 {
+			errs.Addf(in.Key.String(), "NodePort23 value %d is outside the supported range [230, 241]", n)
+		}
+	}
+}
+
+// checkBNodeTtl24 verifies NodeTtl24 is a nonempty integer within [240, 251].
+func checkBNodeTtl24(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeTtl24") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeTtl24 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeTtl24 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 240 || n > 251 {
+			errs.Addf(in.Key.String(), "NodeTtl24 value %d is outside the supported range [240, 251]", n)
+		}
+	}
+}
+
+// checkBNodeBatchSize25 verifies NodeBatchSize25 is a nonempty integer within [250, 261].
+func checkBNodeBatchSize25(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeBatchSize25") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeBatchSize25 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeBatchSize25 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 250 || n > 261 {
+			errs.Addf(in.Key.String(), "NodeBatchSize25 value %d is outside the supported range [250, 261]", n)
+		}
+	}
+}
+
+// checkBNodeTimeout26 verifies NodeTimeout26 is a unique, nonempty IP address per node.
+func checkBNodeTimeout26(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodeTimeout26") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeTimeout26 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodeTimeout26 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodeTimeout26 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodeRetries27 verifies NodeRetries27 is a unique, nonempty IP address per node.
+func checkBNodeRetries27(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodeRetries27") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeRetries27 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodeRetries27 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodeRetries27 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodeThreshold28 verifies NodeThreshold28 is a nonempty boolean flag.
+func checkBNodeThreshold28(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeThreshold28") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeThreshold28 must not be empty")
+			continue
+		}
+		low := strings.ToLower(in.Value)
+		if low != "true" && low != "false" {
+			errs.Addf(in.Key.String(), "NodeThreshold28 value %q is not a boolean", in.Value)
+		}
+	}
+}
+
+// checkBNodeEndpoint29 verifies NodeEndpoint29, when set, carries a node profile label.
+func checkBNodeEndpoint29(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeEndpoint29") {
+		if strings.TrimSpace(in.Value) == "" {
+			continue // unset is allowed
+		}
+		if !strings.Contains(in.Value, "node profile") {
+			errs.Addf(in.Key.String(), "NodeEndpoint29 value %q is not a node profile label", in.Value)
+		}
+	}
+}
+
+// checkBNodePath30 verifies NodePath30 is a consistent, nonempty integer across nodes.
+func checkBNodePath30(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodePath30")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodePath30 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodePath30 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodePath30 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeEnabled31 verifies NodeEnabled31 is a consistent, nonempty integer across nodes.
+func checkBNodeEnabled31(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeEnabled31")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeEnabled31 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeEnabled31 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeEnabled31 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeReplicas32 verifies NodeReplicas32 is a consistent, nonempty integer across nodes.
+func checkBNodeReplicas32(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeReplicas32")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeReplicas32 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeReplicas32 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeReplicas32 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeInterval33 verifies NodeInterval33 is a nonempty integer within [30, 41].
+func checkBNodeInterval33(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeInterval33") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeInterval33 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeInterval33 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 30 || n > 41 {
+			errs.Addf(in.Key.String(), "NodeInterval33 value %d is outside the supported range [30, 41]", n)
+		}
+	}
+}
+
+// checkBNodeLimit34 verifies NodeLimit34 is a nonempty integer within [40, 51].
+func checkBNodeLimit34(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeLimit34") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeLimit34 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeLimit34 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 40 || n > 51 {
+			errs.Addf(in.Key.String(), "NodeLimit34 value %d is outside the supported range [40, 51]", n)
+		}
+	}
+}
+
+// checkBNodeCapacity35 verifies NodeCapacity35 is a nonempty integer within [50, 61].
+func checkBNodeCapacity35(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeCapacity35") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeCapacity35 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeCapacity35 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 50 || n > 61 {
+			errs.Addf(in.Key.String(), "NodeCapacity35 value %d is outside the supported range [50, 61]", n)
+		}
+	}
+}
+
+// checkBNodeAddress36 verifies NodeAddress36 is a unique, nonempty IP address per node.
+func checkBNodeAddress36(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodeAddress36") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeAddress36 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodeAddress36 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodeAddress36 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodePrefix37 verifies NodePrefix37 is a unique, nonempty IP address per node.
+func checkBNodePrefix37(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodePrefix37") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodePrefix37 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodePrefix37 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodePrefix37 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodeOwner38 verifies NodeOwner38 is a nonempty boolean flag.
+func checkBNodeOwner38(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeOwner38") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeOwner38 must not be empty")
+			continue
+		}
+		low := strings.ToLower(in.Value)
+		if low != "true" && low != "false" {
+			errs.Addf(in.Key.String(), "NodeOwner38 value %q is not a boolean", in.Value)
+		}
+	}
+}
+
+// checkBNodeAccount39 verifies NodeAccount39, when set, carries a node profile label.
+func checkBNodeAccount39(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeAccount39") {
+		if strings.TrimSpace(in.Value) == "" {
+			continue // unset is allowed
+		}
+		if !strings.Contains(in.Value, "node profile") {
+			errs.Addf(in.Key.String(), "NodeAccount39 value %q is not a node profile label", in.Value)
+		}
+	}
+}
+
+// checkBNodeSecret40 verifies NodeSecret40 is a consistent, nonempty integer across nodes.
+func checkBNodeSecret40(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeSecret40")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeSecret40 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeSecret40 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeSecret40 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeToken41 verifies NodeToken41 is a consistent, nonempty integer across nodes.
+func checkBNodeToken41(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeToken41")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeToken41 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeToken41 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeToken41 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeVersion42 verifies NodeVersion42 is a consistent, nonempty integer across nodes.
+func checkBNodeVersion42(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeVersion42")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeVersion42 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeVersion42 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeVersion42 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeMode43 verifies NodeMode43 is a nonempty integer within [130, 141].
+func checkBNodeMode43(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeMode43") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeMode43 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeMode43 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 130 || n > 141 {
+			errs.Addf(in.Key.String(), "NodeMode43 value %d is outside the supported range [130, 141]", n)
+		}
+	}
+}
+
+// checkBNodePool44 verifies NodePool44 is a nonempty integer within [140, 151].
+func checkBNodePool44(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodePool44") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodePool44 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodePool44 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 140 || n > 151 {
+			errs.Addf(in.Key.String(), "NodePool44 value %d is outside the supported range [140, 151]", n)
+		}
+	}
+}
+
+// checkBNodeQuota45 verifies NodeQuota45 is a nonempty integer within [150, 161].
+func checkBNodeQuota45(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeQuota45") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeQuota45 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeQuota45 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 150 || n > 161 {
+			errs.Addf(in.Key.String(), "NodeQuota45 value %d is outside the supported range [150, 161]", n)
+		}
+	}
+}
+
+// checkBNodeWeight46 verifies NodeWeight46 is a unique, nonempty IP address per node.
+func checkBNodeWeight46(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodeWeight46") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeWeight46 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodeWeight46 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodeWeight46 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodeRegion47 verifies NodeRegion47 is a unique, nonempty IP address per node.
+func checkBNodeRegion47(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodeRegion47") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeRegion47 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodeRegion47 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodeRegion47 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodeZone48 verifies NodeZone48 is a nonempty boolean flag.
+func checkBNodeZone48(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeZone48") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeZone48 must not be empty")
+			continue
+		}
+		low := strings.ToLower(in.Value)
+		if low != "true" && low != "false" {
+			errs.Addf(in.Key.String(), "NodeZone48 value %q is not a boolean", in.Value)
+		}
+	}
+}
+
+// checkBNodePort49 verifies NodePort49, when set, carries a node profile label.
+func checkBNodePort49(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodePort49") {
+		if strings.TrimSpace(in.Value) == "" {
+			continue // unset is allowed
+		}
+		if !strings.Contains(in.Value, "node profile") {
+			errs.Addf(in.Key.String(), "NodePort49 value %q is not a node profile label", in.Value)
+		}
+	}
+}
+
+// checkBNodeTtl50 verifies NodeTtl50 is a consistent, nonempty integer across nodes.
+func checkBNodeTtl50(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeTtl50")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeTtl50 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeTtl50 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeTtl50 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeBatchSize51 verifies NodeBatchSize51 is a consistent, nonempty integer across nodes.
+func checkBNodeBatchSize51(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeBatchSize51")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeBatchSize51 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeBatchSize51 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeBatchSize51 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeTimeout52 verifies NodeTimeout52 is a consistent, nonempty integer across nodes.
+func checkBNodeTimeout52(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeTimeout52")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeTimeout52 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeTimeout52 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeTimeout52 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeRetries53 verifies NodeRetries53 is a nonempty integer within [230, 241].
+func checkBNodeRetries53(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeRetries53") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeRetries53 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeRetries53 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 230 || n > 241 {
+			errs.Addf(in.Key.String(), "NodeRetries53 value %d is outside the supported range [230, 241]", n)
+		}
+	}
+}
+
+// checkBNodeThreshold54 verifies NodeThreshold54 is a nonempty integer within [240, 251].
+func checkBNodeThreshold54(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeThreshold54") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeThreshold54 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeThreshold54 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 240 || n > 251 {
+			errs.Addf(in.Key.String(), "NodeThreshold54 value %d is outside the supported range [240, 251]", n)
+		}
+	}
+}
+
+// checkBNodeEndpoint55 verifies NodeEndpoint55 is a nonempty integer within [250, 261].
+func checkBNodeEndpoint55(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeEndpoint55") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeEndpoint55 must not be empty")
+			continue
+		}
+		n, err := strconv.ParseInt(in.Value, 10, 64)
+		if err != nil {
+			errs.Addf(in.Key.String(), "NodeEndpoint55 value %q is not an integer", in.Value)
+			continue
+		}
+		if n < 250 || n > 261 {
+			errs.Addf(in.Key.String(), "NodeEndpoint55 value %d is outside the supported range [250, 261]", n)
+		}
+	}
+}
+
+// checkBNodePath56 verifies NodePath56 is a unique, nonempty IP address per node.
+func checkBNodePath56(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodePath56") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodePath56 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodePath56 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodePath56 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodeEnabled57 verifies NodeEnabled57 is a unique, nonempty IP address per node.
+func checkBNodeEnabled57(st *config.Store, errs *ErrorList) {
+	seen := make(map[string]bool)
+	for _, in := range instancesOf(st, "Cluster.Node.NodeEnabled57") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeEnabled57 must not be empty")
+			continue
+		}
+		if !vtype.IsIP(in.Value) {
+			errs.Addf(in.Key.String(), "NodeEnabled57 value %q is not an IP address", in.Value)
+			continue
+		}
+		if seen[in.Value] {
+			errs.Addf(in.Key.String(), "NodeEnabled57 address %q is not unique", in.Value)
+		}
+		seen[in.Value] = true
+	}
+}
+
+// checkBNodeReplicas58 verifies NodeReplicas58 is a nonempty boolean flag.
+func checkBNodeReplicas58(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeReplicas58") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeReplicas58 must not be empty")
+			continue
+		}
+		low := strings.ToLower(in.Value)
+		if low != "true" && low != "false" {
+			errs.Addf(in.Key.String(), "NodeReplicas58 value %q is not a boolean", in.Value)
+		}
+	}
+}
+
+// checkBNodeInterval59 verifies NodeInterval59, when set, carries a node profile label.
+func checkBNodeInterval59(st *config.Store, errs *ErrorList) {
+	for _, in := range instancesOf(st, "Cluster.Node.NodeInterval59") {
+		if strings.TrimSpace(in.Value) == "" {
+			continue // unset is allowed
+		}
+		if !strings.Contains(in.Value, "node profile") {
+			errs.Addf(in.Key.String(), "NodeInterval59 value %q is not a node profile label", in.Value)
+		}
+	}
+}
+
+// checkBNodeLimit60 verifies NodeLimit60 is a consistent, nonempty integer across nodes.
+func checkBNodeLimit60(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeLimit60")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeLimit60 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeLimit60 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeLimit60 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}
+
+// checkBNodeCapacity61 verifies NodeCapacity61 is a consistent, nonempty integer across nodes.
+func checkBNodeCapacity61(st *config.Store, errs *ErrorList) {
+	ins := instancesOf(st, "Cluster.Node.NodeCapacity61")
+	counts := make(map[string]int)
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "NodeCapacity61 must not be empty")
+			continue
+		}
+		if _, err := strconv.ParseInt(in.Value, 10, 64); err != nil {
+			errs.Addf(in.Key.String(), "NodeCapacity61 value %q is not an integer", in.Value)
+			continue
+		}
+		counts[in.Value]++
+	}
+	if len(counts) <= 1 {
+		return
+	}
+	majority, best := "", -1
+	for _, in := range ins {
+		if counts[in.Value] > best {
+			majority, best = in.Value, counts[in.Value]
+		}
+	}
+	for _, in := range ins {
+		if counts[in.Value] > 0 && in.Value != majority {
+			errs.Addf(in.Key.String(), "NodeCapacity61 value %q is inconsistent with the fleet-wide value %q", in.Value, majority)
+		}
+	}
+}

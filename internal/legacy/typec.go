@@ -1,0 +1,163 @@
+package legacy
+
+import (
+	"strconv"
+	"strings"
+
+	"confvalley/internal/config"
+	"confvalley/internal/vtype"
+)
+
+// ValidateTypeC is the imperative counterpart of specs/azure_type_c.cpl:
+// six family-wide checks over the Type C INI-style service settings.
+func ValidateTypeC(st *config.Store) *ErrorList {
+	errs := &ErrorList{}
+	checkCTimeouts(st, errs)
+	checkCPorts(st, errs)
+	checkCHosts(st, errs)
+	checkCRetries(st, errs)
+	checkCFlags(st, errs)
+	checkCHostDomains(st, errs)
+	return errs
+}
+
+// familyInstances collects instances whose leaf matches
+// prefix*<middle>*suffix within the given section, re-walking the store
+// as ad hoc scripts do.
+func familyInstances(st *config.Store, section, middle string) []*config.Instance {
+	var out []*config.Instance
+	for _, in := range st.Instances() {
+		segs := in.Key.Segs
+		if len(segs) != 3 || segs[0].Name != "Env" || segs[1].Name != section {
+			continue
+		}
+		if strings.Contains(segs[2].Name, middle) {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// consistencyPass flags values diverging from each class's majority.
+func consistencyPass(ins []*config.Instance, what string, errs *ErrorList) {
+	byClass := make(map[string][]*config.Instance)
+	var order []string
+	for _, in := range ins {
+		cp := in.Key.ClassPath()
+		if _, ok := byClass[cp]; !ok {
+			order = append(order, cp)
+		}
+		byClass[cp] = append(byClass[cp], in)
+	}
+	for _, cp := range order {
+		group := byClass[cp]
+		counts := make(map[string]int)
+		for _, in := range group {
+			counts[in.Value]++
+		}
+		if len(counts) <= 1 {
+			continue
+		}
+		majority, best := "", -1
+		for _, in := range group {
+			if counts[in.Value] > best {
+				majority, best = in.Value, counts[in.Value]
+			}
+		}
+		for _, in := range group {
+			if in.Value != majority {
+				errs.Addf(in.Key.String(), "%s %q is inconsistent with the environment-wide value %q", what, in.Value, majority)
+			}
+		}
+	}
+}
+
+func checkCTimeouts(st *config.Store, errs *ErrorList) {
+	ins := familyInstances(st, "api", "api_timeout_")
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "api timeout must not be empty")
+			continue
+		}
+		if !vtype.IsDuration(in.Value) {
+			errs.Addf(in.Key.String(), "api timeout %q is not a duration", in.Value)
+		}
+	}
+	consistencyPass(ins, "api timeout", errs)
+}
+
+func checkCPorts(st *config.Store, errs *ErrorList) {
+	ins := familyInstances(st, "db", "db_port_")
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "db port must not be empty")
+			continue
+		}
+		n, err := strconv.Atoi(in.Value)
+		if err != nil || n < 1 || n > 65535 {
+			errs.Addf(in.Key.String(), "db port %q is not a valid TCP port", in.Value)
+		}
+	}
+	consistencyPass(ins, "db port", errs)
+}
+
+func checkCHosts(st *config.Store, errs *ErrorList) {
+	ins := familyInstances(st, "auth", "auth_host_")
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "auth host must not be empty")
+			continue
+		}
+		if !vtype.IsHostname(in.Value) {
+			errs.Addf(in.Key.String(), "auth host %q is not a hostname", in.Value)
+		}
+	}
+	consistencyPass(ins, "auth host", errs)
+}
+
+func checkCRetries(st *config.Store, errs *ErrorList) {
+	for _, in := range familyInstances(st, "worker", "worker_retries_") {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "worker retries must not be empty")
+			continue
+		}
+		n, err := strconv.Atoi(in.Value)
+		if err != nil {
+			errs.Addf(in.Key.String(), "worker retries %q is not an integer", in.Value)
+			continue
+		}
+		if n < 1 || n > 5 {
+			errs.Addf(in.Key.String(), "worker retries %d is outside [1, 5]", n)
+		}
+	}
+}
+
+func checkCFlags(st *config.Store, errs *ErrorList) {
+	ins := familyInstances(st, "metrics", "metrics_flag_")
+	for _, in := range ins {
+		if strings.TrimSpace(in.Value) == "" {
+			errs.Addf(in.Key.String(), "metrics flag must not be empty")
+			continue
+		}
+		low := strings.ToLower(in.Value)
+		if low != "true" && low != "false" {
+			errs.Addf(in.Key.String(), "metrics flag %q is not a boolean", in.Value)
+		}
+	}
+	consistencyPass(ins, "metrics flag", errs)
+}
+
+func checkCHostDomains(st *config.Store, errs *ErrorList) {
+	for _, in := range st.Instances() {
+		segs := in.Key.Segs
+		if len(segs) != 3 || segs[0].Name != "Env" {
+			continue
+		}
+		if !strings.Contains(segs[2].Name, "_host_") {
+			continue
+		}
+		if !strings.HasSuffix(in.Value, ".internal.example.net") {
+			errs.Addf(in.Key.String(), "host %q is outside the internal domain", in.Value)
+		}
+	}
+}

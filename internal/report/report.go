@@ -1,0 +1,162 @@
+// Package report defines validation results: individual violations with
+// automatically generated error messages (§4.4 of the paper) and the
+// aggregate report with the constraint-grouped view practitioners use to
+// triage inferred-specification noise (§6.3).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Severity ranks how serious a violation is; the validation policy assigns
+// severities to specifications (§4.3).
+type Severity int
+
+// Severities, least to most severe.
+const (
+	Info Severity = iota
+	Warning
+	Error
+	Critical
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	case Critical:
+		return "critical"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// ParseSeverity converts a policy string to a Severity.
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "info":
+		return Info, nil
+	case "warning":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	case "critical":
+		return Critical, nil
+	}
+	return Info, fmt.Errorf("report: unknown severity %q", s)
+}
+
+// Violation is one failed check: which specification, which configuration
+// instance, and why.
+type Violation struct {
+	SpecID   int      `json:"spec_id"`
+	Spec     string   `json:"spec"`    // CPL source of the specification
+	Key      string   `json:"key"`     // fully-qualified instance key
+	Value    string   `json:"value"`   // offending value
+	Source   string   `json:"source"`  // file/endpoint provenance
+	Message  string   `json:"message"` // auto-generated explanation
+	Severity Severity `json:"severity"`
+}
+
+// String renders one violation line.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s = %q: %s  (spec: %s)", v.Severity, v.Key, v.Value, v.Message, v.Spec)
+}
+
+// Report aggregates one validation run.
+type Report struct {
+	Violations       []Violation   `json:"violations"`
+	SpecsRun         int           `json:"specs_run"`
+	SpecsFailed      int           `json:"specs_failed"`
+	SpecErrors       []string      `json:"spec_errors,omitempty"` // specs that could not be evaluated
+	InstancesChecked int           `json:"instances_checked"`
+	Duration         time.Duration `json:"duration_ns"`
+	Stopped          bool          `json:"stopped"` // stop-on-first-violation policy fired
+}
+
+// Add appends a violation.
+func (r *Report) Add(v Violation) { r.Violations = append(r.Violations, v) }
+
+// Passed reports whether the run found no violations and no broken specs.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 && len(r.SpecErrors) == 0 }
+
+// Merge folds another report (from a parallel partition) into this one.
+func (r *Report) Merge(o *Report) {
+	r.Violations = append(r.Violations, o.Violations...)
+	r.SpecsRun += o.SpecsRun
+	r.SpecsFailed += o.SpecsFailed
+	r.SpecErrors = append(r.SpecErrors, o.SpecErrors...)
+	r.InstancesChecked += o.InstancesChecked
+	if o.Duration > r.Duration {
+		r.Duration = o.Duration // parallel wall clock is the max partition time
+	}
+	r.Stopped = r.Stopped || o.Stopped
+}
+
+// ConstraintGroup is the by-specification view of violations.
+type ConstraintGroup struct {
+	SpecID     int
+	Spec       string
+	Violations []Violation
+}
+
+// GroupByConstraint groups violations by specification, ordered by
+// descending violation count. Practitioners inspect the top groups first:
+// a constraint failed by many instances is likely a bad inferred
+// specification rather than many real errors (§6.3).
+func (r *Report) GroupByConstraint() []ConstraintGroup {
+	byID := make(map[int]*ConstraintGroup)
+	var order []int
+	for _, v := range r.Violations {
+		g, ok := byID[v.SpecID]
+		if !ok {
+			g = &ConstraintGroup{SpecID: v.SpecID, Spec: v.Spec}
+			byID[v.SpecID] = g
+			order = append(order, v.SpecID)
+		}
+		g.Violations = append(g.Violations, v)
+	}
+	out := make([]ConstraintGroup, 0, len(byID))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return len(out[i].Violations) > len(out[j].Violations)
+	})
+	return out
+}
+
+// Render writes a human-readable report.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "validation: %d spec(s) run, %d failed, %d instance check(s), %d violation(s) in %v\n",
+		r.SpecsRun, r.SpecsFailed, r.InstancesChecked, len(r.Violations), r.Duration.Round(time.Millisecond)); err != nil {
+		return err
+	}
+	for _, g := range r.GroupByConstraint() {
+		if _, err := fmt.Fprintf(w, "\n%d violation(s) of: %s\n", len(g.Violations), g.Spec); err != nil {
+			return err
+		}
+		for _, v := range g.Violations {
+			if _, err := fmt.Fprintf(w, "  %s = %q: %s\n", v.Key, v.Value, v.Message); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range r.SpecErrors {
+		if _, err := fmt.Fprintf(w, "\nspec error: %s\n", e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, s := range []Severity{Info, Warning, Error, Critical} {
+		got, err := ParseSeverity(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v: %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("unknown severity should error")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Report{SpecsRun: 2, SpecsFailed: 1, InstancesChecked: 10, Duration: 5 * time.Millisecond}
+	a.Add(Violation{SpecID: 1, Message: "m1"})
+	b := &Report{SpecsRun: 3, InstancesChecked: 20, Duration: 9 * time.Millisecond, Stopped: true}
+	b.Add(Violation{SpecID: 2, Message: "m2"})
+	a.Merge(b)
+	if a.SpecsRun != 5 || a.InstancesChecked != 30 || len(a.Violations) != 2 {
+		t.Errorf("merged = %+v", a)
+	}
+	if a.Duration != 9*time.Millisecond {
+		t.Errorf("duration should be max: %v", a.Duration)
+	}
+	if !a.Stopped {
+		t.Error("stopped should propagate")
+	}
+}
+
+func TestGroupByConstraintOrdersBySize(t *testing.T) {
+	r := &Report{}
+	r.Add(Violation{SpecID: 1, Spec: "$A -> int", Key: "A[1]"})
+	r.Add(Violation{SpecID: 2, Spec: "$B -> bool", Key: "B[1]"})
+	r.Add(Violation{SpecID: 2, Spec: "$B -> bool", Key: "B[2]"})
+	groups := r.GroupByConstraint()
+	if len(groups) != 2 || groups[0].SpecID != 2 || len(groups[0].Violations) != 2 {
+		t.Errorf("groups = %+v", groups)
+	}
+}
+
+func TestRenderAndJSON(t *testing.T) {
+	r := &Report{SpecsRun: 1, SpecsFailed: 1, InstancesChecked: 2}
+	r.Add(Violation{SpecID: 1, Spec: "$A -> int", Key: "A[1]", Value: "x", Message: "value \"x\" is not a valid int", Severity: Error})
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1 violation(s)", "$A -> int", "A[1]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Violations) != 1 || back.Violations[0].Key != "A[1]" {
+		t.Errorf("json round trip = %+v", back)
+	}
+}
+
+func TestPassed(t *testing.T) {
+	r := &Report{}
+	if !r.Passed() {
+		t.Error("empty report should pass")
+	}
+	r.SpecErrors = append(r.SpecErrors, "boom")
+	if r.Passed() {
+		t.Error("spec errors should fail the report")
+	}
+	r2 := &Report{}
+	r2.Add(Violation{})
+	if r2.Passed() {
+		t.Error("violations should fail the report")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Severity: Warning, Key: "K", Value: "v", Message: "bad", Spec: "$K -> int"}
+	s := v.String()
+	if !strings.Contains(s, "warning") || !strings.Contains(s, "$K -> int") {
+		t.Errorf("String = %q", s)
+	}
+}

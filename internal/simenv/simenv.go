@@ -1,0 +1,168 @@
+// Package simenv provides the runtime information used by dynamic CPL
+// predicates (§4.3 of the paper): filesystem existence for the "exists"
+// predicate, endpoint reachability for "reachable", and host facts (OS
+// name, time, environment variables).
+//
+// In production the environment would consult the real host; this package
+// ships a simulated environment so validation of paths and endpoints is
+// hermetic and deterministic — the substitution DESIGN.md documents for
+// the paper's live Azure hosts.
+package simenv
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Env answers dynamic predicate queries.
+type Env interface {
+	// PathExists reports whether a filesystem path exists.
+	PathExists(path string) bool
+	// Reachable reports whether a network endpoint ("host:port" or URL)
+	// is reachable.
+	Reachable(endpoint string) bool
+	// OSName returns the host operating system name.
+	OSName() string
+	// Now returns the current time.
+	Now() time.Time
+	// Getenv returns a host environment variable.
+	Getenv(name string) string
+}
+
+// Sim is a fully simulated environment. The zero value answers false to
+// every existence query; populate with AddPath/AddEndpoint.
+type Sim struct {
+	mu        sync.RWMutex
+	paths     map[string]bool
+	endpoints map[string]bool
+	osName    string
+	now       time.Time
+	vars      map[string]string
+}
+
+// NewSim returns an empty simulated environment with a fixed clock.
+func NewSim() *Sim {
+	return &Sim{
+		paths:     make(map[string]bool),
+		endpoints: make(map[string]bool),
+		osName:    "simos",
+		now:       time.Date(2015, 4, 21, 9, 0, 0, 0, time.UTC), // EuroSys'15 day one
+		vars:      make(map[string]string),
+	}
+}
+
+// AddPath marks a path (and all its parents) as existing.
+func (s *Sim) AddPath(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	norm := normPath(path)
+	s.paths[norm] = true
+	// Parents exist too.
+	for {
+		i := strings.LastIndexAny(norm, `/\`)
+		if i <= 0 {
+			break
+		}
+		norm = norm[:i]
+		s.paths[norm] = true
+	}
+}
+
+// AddEndpoint marks an endpoint as reachable.
+func (s *Sim) AddEndpoint(ep string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.endpoints[ep] = true
+}
+
+// SetOS sets the reported operating system name.
+func (s *Sim) SetOS(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.osName = name
+}
+
+// SetNow fixes the simulated clock.
+func (s *Sim) SetNow(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = t
+}
+
+// Setenv sets a simulated environment variable.
+func (s *Sim) Setenv(k, v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vars[k] = v
+}
+
+// PathExists implements Env.
+func (s *Sim) PathExists(path string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.paths[normPath(path)]
+}
+
+// Reachable implements Env.
+func (s *Sim) Reachable(ep string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.endpoints[ep]
+}
+
+// OSName implements Env.
+func (s *Sim) OSName() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.osName
+}
+
+// Now implements Env.
+func (s *Sim) Now() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.now
+}
+
+// Getenv implements Env.
+func (s *Sim) Getenv(name string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.vars[name]
+}
+
+// normPath canonicalizes separators and case for Windows-style paths so
+// `\\share\OS\v2` and `\\share\os\v2` compare equal, as they would on the
+// systems that store these configurations.
+func normPath(p string) string {
+	q := strings.ReplaceAll(p, `\`, "/")
+	q = strings.TrimRight(q, "/")
+	return strings.ToLower(q)
+}
+
+// Host is an Env backed by the real host: real filesystem checks, real OS
+// name and clock. Reachability is answered false (the validation host must
+// not probe the network as a side effect of validation; use a Sim overlay
+// to assert reachability).
+type Host struct{}
+
+// PathExists implements Env against the real filesystem.
+func (Host) PathExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// Reachable implements Env; always false on the host (see type comment).
+func (Host) Reachable(string) bool { return false }
+
+// OSName implements Env.
+func (Host) OSName() string { return runtime.GOOS }
+
+// Now implements Env.
+func (Host) Now() time.Time { return time.Now() }
+
+// Getenv implements Env.
+func (Host) Getenv(name string) string { return os.Getenv(name) }

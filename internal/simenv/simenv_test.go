@@ -1,0 +1,66 @@
+package simenv
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimPaths(t *testing.T) {
+	s := NewSim()
+	s.AddPath("/a/b/c")
+	for _, p := range []string{"/a/b/c", "/a/b", "/a", "/A/B/c", "/a/b/c/"} {
+		if !s.PathExists(p) {
+			t.Errorf("PathExists(%q) = false", p)
+		}
+	}
+	if s.PathExists("/a/b/x") {
+		t.Error("unknown path exists")
+	}
+}
+
+func TestSimHostFacts(t *testing.T) {
+	s := NewSim()
+	if s.OSName() != "simos" {
+		t.Errorf("default OS = %q", s.OSName())
+	}
+	s.SetOS("windows")
+	if s.OSName() != "windows" {
+		t.Errorf("OS = %q", s.OSName())
+	}
+	fixed := time.Date(2020, 1, 2, 3, 4, 5, 0, time.UTC)
+	s.SetNow(fixed)
+	if !s.Now().Equal(fixed) {
+		t.Errorf("Now = %v", s.Now())
+	}
+	s.Setenv("REGION", "east1")
+	if s.Getenv("REGION") != "east1" {
+		t.Errorf("Getenv = %q", s.Getenv("REGION"))
+	}
+	if s.Getenv("NOPE") != "" {
+		t.Error("unset var should be empty")
+	}
+}
+
+func TestSimEndpoints(t *testing.T) {
+	s := NewSim()
+	s.AddEndpoint("db:5432")
+	if !s.Reachable("db:5432") || s.Reachable("db:5433") {
+		t.Error("reachability wrong")
+	}
+}
+
+func TestHostEnv(t *testing.T) {
+	var h Host
+	if h.OSName() == "" {
+		t.Error("host OS empty")
+	}
+	if h.Reachable("example.com:443") {
+		t.Error("host env must not claim reachability")
+	}
+	if h.PathExists("/definitely/not/a/real/path/xyz123") {
+		t.Error("bogus path exists")
+	}
+	if h.Now().IsZero() {
+		t.Error("host clock zero")
+	}
+}

@@ -1,0 +1,218 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"confvalley/internal/value"
+)
+
+func apply(t *testing.T, name string, in value.V, args ...value.V) value.V {
+	t.Helper()
+	f, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("transform %q not registered", name)
+	}
+	out, err := ApplyMap(f, args, in)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return out
+}
+
+func reduce(t *testing.T, name string, in []value.V, args ...value.V) value.V {
+	t.Helper()
+	f, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("transform %q not registered", name)
+	}
+	out, err := ApplyReduce(f, args, in)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return out
+}
+
+func TestSplitAndAt(t *testing.T) {
+	v := apply(t, "split", value.Scalar("a : b : c"), value.Scalar(":"))
+	if !v.IsList() || len(v.List) != 3 || v.List[1].Raw != "b" {
+		t.Fatalf("split = %v", v)
+	}
+	first := apply(t, "at", v, value.Scalar("0"))
+	if first.Raw != "a" {
+		t.Errorf("at(0) = %v", first)
+	}
+	last := apply(t, "at", v, value.Scalar("-1"))
+	if last.Raw != "c" {
+		t.Errorf("at(-1) = %v", last)
+	}
+	// at on a scalar treats it as a singleton.
+	if got := apply(t, "at", value.Scalar("solo"), value.Scalar("0")); got.Raw != "solo" {
+		t.Errorf("at(0) scalar = %v", got)
+	}
+}
+
+func TestAtOutOfBounds(t *testing.T) {
+	f, _ := Lookup("at")
+	_, err := ApplyMap(f, []value.V{value.Scalar("5")}, value.ListOf([]value.V{value.Scalar("a")}))
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStringTransforms(t *testing.T) {
+	if got := apply(t, "lower", value.Scalar("ABC.Xml")); got.Raw != "abc.xml" {
+		t.Errorf("lower = %v", got)
+	}
+	if got := apply(t, "upper", value.Scalar("ab")); got.Raw != "AB" {
+		t.Errorf("upper = %v", got)
+	}
+	if got := apply(t, "trim", value.Scalar("  x ")); got.Raw != "x" {
+		t.Errorf("trim = %v", got)
+	}
+	if got := apply(t, "basename", value.Scalar(`\\share\OS\v2.vhd`)); got.Raw != "v2.vhd" {
+		t.Errorf("basename = %v", got)
+	}
+	if got := apply(t, "basename", value.Scalar("/etc/hosts")); got.Raw != "hosts" {
+		t.Errorf("basename unix = %v", got)
+	}
+	if got := apply(t, "replace", value.Scalar("a-b-c"), value.Scalar("-"), value.Scalar(":")); got.Raw != "a:b:c" {
+		t.Errorf("replace = %v", got)
+	}
+	// lower maps over lists.
+	l := value.ListOf([]value.V{value.Scalar("A"), value.Scalar("B")})
+	if got := apply(t, "lower", l); !got.IsList() || got.List[0].Raw != "a" {
+		t.Errorf("lower(list) = %v", got)
+	}
+}
+
+func TestLenAbs(t *testing.T) {
+	if got := apply(t, "len", value.Scalar("abcd")); got.Raw != "4" {
+		t.Errorf("len = %v", got)
+	}
+	l := value.ListOf([]value.V{value.Scalar("a"), value.Scalar("b")})
+	if got := apply(t, "len", l); got.Raw != "2" {
+		t.Errorf("len(list) = %v", got)
+	}
+	if got := apply(t, "abs", value.Scalar("-7")); got.Raw != "7" {
+		t.Errorf("abs = %v", got)
+	}
+	if got := apply(t, "abs", value.Scalar("-1.5")); got.Raw != "1.5" {
+		t.Errorf("abs float = %v", got)
+	}
+}
+
+func TestReduces(t *testing.T) {
+	vals := []value.V{value.Scalar("3"), value.Scalar("1"), value.Scalar("2")}
+	if got := reduce(t, "count", vals); got.Raw != "3" {
+		t.Errorf("count = %v", got)
+	}
+	if got := reduce(t, "sum", vals); got.Raw != "6" {
+		t.Errorf("sum = %v", got)
+	}
+	if got := reduce(t, "min", vals); got.Raw != "1" {
+		t.Errorf("min = %v", got)
+	}
+	if got := reduce(t, "max", vals); got.Raw != "3" {
+		t.Errorf("max = %v", got)
+	}
+	if got := reduce(t, "first", vals); got.Raw != "3" {
+		t.Errorf("first = %v", got)
+	}
+	if got := reduce(t, "last", vals); got.Raw != "2" {
+		t.Errorf("last = %v", got)
+	}
+}
+
+func TestCountSingleList(t *testing.T) {
+	// count of one list value counts members (MAC range vs IP range check).
+	l := value.ListOf([]value.V{value.Scalar("a"), value.Scalar("b"), value.Scalar("c")})
+	if got := reduce(t, "count", []value.V{l}); got.Raw != "3" {
+		t.Errorf("count(list) = %v", got)
+	}
+}
+
+func TestUnionDistinct(t *testing.T) {
+	a := value.ListOf([]value.V{value.Scalar("1"), value.Scalar("2")})
+	b := value.ListOf([]value.V{value.Scalar("2"), value.Scalar("3")})
+	u := reduce(t, "union", []value.V{a, b})
+	if len(u.List) != 3 {
+		t.Errorf("union = %v", u)
+	}
+	d := reduce(t, "distinct", []value.V{value.Scalar("x"), value.Scalar("x"), value.Scalar("y")})
+	if len(d.List) != 2 {
+		t.Errorf("distinct = %v", d)
+	}
+}
+
+func TestStyleAndArityErrors(t *testing.T) {
+	split, _ := Lookup("split")
+	if _, err := ApplyReduce(split, nil, nil); err == nil {
+		t.Error("split as reduce should error")
+	}
+	if _, err := ApplyMap(split, nil, value.Scalar("x")); err == nil {
+		t.Error("split with no args should error")
+	}
+	count, _ := Lookup("count")
+	if _, err := ApplyMap(count, nil, value.Scalar("x")); err == nil {
+		t.Error("count as map should error")
+	}
+	sum, _ := Lookup("sum")
+	if _, err := ApplyReduce(sum, nil, []value.V{value.Scalar("abc")}); err == nil {
+		t.Error("sum of non-numeric should error")
+	}
+	if _, err := ApplyReduce(sum, nil, nil); err == nil {
+		t.Error("sum of empty should error")
+	}
+}
+
+func TestArith(t *testing.T) {
+	got, err := Arith("+", value.Scalar("2"), value.Scalar("3"))
+	if err != nil || got.Raw != "5" {
+		t.Errorf("2+3 = %v, %v", got, err)
+	}
+	got, err = Arith("/", value.Scalar("7"), value.Scalar("2"))
+	if err != nil || got.Raw != "3.5" {
+		t.Errorf("7/2 = %v, %v", got, err)
+	}
+	if _, err := Arith("/", value.Scalar("1"), value.Scalar("0")); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := Arith("+", value.Scalar("x"), value.Scalar("1")); err == nil {
+		t.Error("non-numeric should error")
+	}
+	if _, err := Arith("%", value.Scalar("1"), value.Scalar("1")); err == nil {
+		t.Error("unknown op should error")
+	}
+}
+
+func TestRegistryPlugin(t *testing.T) {
+	Register(&Func{Name: "testplug_rev", Style: Map, Arity: 0,
+		Apply: func(_ []value.V, in value.V) (value.V, error) {
+			b := []byte(in.Raw)
+			for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+				b[i], b[j] = b[j], b[i]
+			}
+			return value.Scalar(string(b)), nil
+		}})
+	if !Known("testplug_rev") {
+		t.Error("plugin not visible")
+	}
+	if got := apply(t, "testplug_rev", value.Scalar("abc")); got.Raw != "cba" {
+		t.Errorf("plugin = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	Register(&Func{Name: "testplug_rev", Style: Map})
+}
+
+func TestInstancePropagation(t *testing.T) {
+	in := value.V{Raw: "a;b", Inst: nil}
+	out := apply(t, "split", in, value.Scalar(";"))
+	if out.List[0].Inst != in.Inst {
+		t.Error("split should propagate instance")
+	}
+}

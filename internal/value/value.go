@@ -1,0 +1,128 @@
+// Package value defines the runtime values that flow through CPL
+// evaluation: configuration instance values entering a pipeline, the lists
+// produced by transformations like split, and the tuples produced by the
+// [a, b] constructor.
+package value
+
+import (
+	"strings"
+
+	"confvalley/internal/config"
+	"confvalley/internal/vtype"
+)
+
+// V is a runtime value. Exactly one representation is active: a scalar
+// (List == nil) carries Raw; a list or tuple carries List.
+type V struct {
+	Raw  string
+	List []V // non-nil for list/tuple values
+
+	// Inst is the configuration instance this value was derived from,
+	// carried through transformations for error reporting. Nil for purely
+	// synthetic values (literals, reduce results).
+	Inst *config.Instance
+}
+
+// Scalar wraps a raw string.
+func Scalar(raw string) V { return V{Raw: raw} }
+
+// FromInstance wraps a configuration instance's value.
+func FromInstance(in *config.Instance) V { return V{Raw: in.Value, Inst: in} }
+
+// ListOf builds a list value, propagating the instance from the first
+// element that has one.
+func ListOf(elems []V) V {
+	v := V{List: elems}
+	if v.List == nil {
+		v.List = []V{}
+	}
+	for _, e := range elems {
+		if e.Inst != nil {
+			v.Inst = e.Inst
+			break
+		}
+	}
+	return v
+}
+
+// IsList reports whether v is a list or tuple.
+func (v V) IsList() bool { return v.List != nil }
+
+// String renders the value for error messages.
+func (v V) String() string {
+	if !v.IsList() {
+		return v.Raw
+	}
+	parts := make([]string, len(v.List))
+	for i, e := range v.List {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Equal compares two values structurally; scalars compare numerically when
+// both sides are numeric, so "5" equals "5.0" and "05".
+func Equal(a, b V) bool {
+	if a.IsList() != b.IsList() {
+		return false
+	}
+	if !a.IsList() {
+		c, typed := vtype.CompareValues(a.Raw, b.Raw)
+		if typed {
+			return c == 0
+		}
+		return a.Raw == b.Raw
+	}
+	if len(a.List) != len(b.List) {
+		return false
+	}
+	for i := range a.List {
+		if !Equal(a.List[i], b.List[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders two scalar values using the typed comparison rules
+// (numeric, IP, version, size, duration, falling back to string order).
+// Lists compare lexicographically element-wise.
+func Compare(a, b V) int {
+	if a.IsList() && b.IsList() {
+		for i := 0; i < len(a.List) && i < len(b.List); i++ {
+			if c := Compare(a.List[i], b.List[i]); c != 0 {
+				return c
+			}
+		}
+		return len(a.List) - len(b.List)
+	}
+	c, _ := vtype.CompareValues(a.Raw, b.Raw)
+	return c
+}
+
+// Key returns a canonical string usable as a map key for uniqueness and
+// consistency checks; numerically equal scalars may still produce distinct
+// keys ("5" vs "05"), which matches how the paper treats configuration
+// values as strings for consistency purposes.
+func (v V) Key() string {
+	if !v.IsList() {
+		return "s:" + v.Raw
+	}
+	parts := make([]string, len(v.List))
+	for i, e := range v.List {
+		parts[i] = e.Key()
+	}
+	return "l:[" + strings.Join(parts, "\x00") + "]"
+}
+
+// Provenance describes where the value came from, for error messages.
+func (v V) Provenance() string {
+	if v.Inst == nil {
+		return "(derived value)"
+	}
+	s := v.Inst.Key.String()
+	if v.Inst.Source != "" {
+		s += " (" + v.Inst.Source + ")"
+	}
+	return s
+}

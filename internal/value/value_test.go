@@ -1,0 +1,96 @@
+package value
+
+import (
+	"testing"
+
+	"confvalley/internal/config"
+)
+
+func TestScalarAndList(t *testing.T) {
+	s := Scalar("x")
+	if s.IsList() || s.Raw != "x" {
+		t.Errorf("Scalar = %+v", s)
+	}
+	l := ListOf([]V{Scalar("a"), Scalar("b")})
+	if !l.IsList() || len(l.List) != 2 {
+		t.Errorf("ListOf = %+v", l)
+	}
+	if l.String() != "[a, b]" {
+		t.Errorf("String = %q", l.String())
+	}
+	empty := ListOf(nil)
+	if !empty.IsList() || len(empty.List) != 0 {
+		t.Errorf("empty list = %+v", empty)
+	}
+}
+
+func TestEqualNumericAware(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"5", "5", true},
+		{"5", "5.0", true},
+		{"5", "05", true},
+		{"5", "6", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"10.0.0.1", "10.0.0.1", true},
+	}
+	for _, c := range cases {
+		if got := Equal(Scalar(c.a), Scalar(c.b)); got != c.want {
+			t.Errorf("Equal(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if Equal(Scalar("x"), ListOf([]V{Scalar("x")})) {
+		t.Error("scalar != singleton list")
+	}
+	if !Equal(ListOf([]V{Scalar("1"), Scalar("2")}), ListOf([]V{Scalar("1"), Scalar("2")})) {
+		t.Error("equal lists should be Equal")
+	}
+	if Equal(ListOf([]V{Scalar("1")}), ListOf([]V{Scalar("1"), Scalar("2")})) {
+		t.Error("lists of different lengths differ")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare(Scalar("2"), Scalar("10")) >= 0 {
+		t.Error("numeric compare failed")
+	}
+	if Compare(Scalar("10.0.0.2"), Scalar("10.0.0.10")) >= 0 {
+		t.Error("IP compare failed")
+	}
+	a := ListOf([]V{Scalar("1"), Scalar("2")})
+	b := ListOf([]V{Scalar("1"), Scalar("3")})
+	if Compare(a, b) >= 0 {
+		t.Error("list compare failed")
+	}
+	if Compare(a, ListOf([]V{Scalar("1")})) <= 0 {
+		t.Error("longer list should compare greater when prefix equal")
+	}
+}
+
+func TestKeyDistinguishesShapes(t *testing.T) {
+	if Scalar("a").Key() == ListOf([]V{Scalar("a")}).Key() {
+		t.Error("scalar and list keys should differ")
+	}
+	if ListOf([]V{Scalar("a"), Scalar("b")}).Key() == ListOf([]V{Scalar("a,b")}).Key() {
+		t.Error("nested structure must not collide")
+	}
+}
+
+func TestProvenance(t *testing.T) {
+	in := &config.Instance{Key: config.K("Fabric", "Timeout"), Value: "30", Source: "a.ini"}
+	v := FromInstance(in)
+	if v.Provenance() != "Fabric.Timeout (a.ini)" {
+		t.Errorf("Provenance = %q", v.Provenance())
+	}
+	if Scalar("x").Provenance() != "(derived value)" {
+		t.Errorf("derived provenance = %q", Scalar("x").Provenance())
+	}
+	// ListOf propagates instance.
+	l := ListOf([]V{Scalar("a"), v})
+	if l.Inst != in {
+		t.Error("ListOf should propagate the first instance")
+	}
+}

@@ -1,0 +1,470 @@
+package vtype
+
+import (
+	"net"
+	"strconv"
+	"strings"
+)
+
+// IsBool reports whether s is a boolean literal. Configuration data uses
+// several spellings; all of true/false, yes/no, on/off (case-insensitive)
+// and 0/1 are NOT accepted for 0/1 (those are integers), matching the
+// paper's treatment of booleans as a distinct narrow type.
+func IsBool(s string) bool {
+	switch strings.ToLower(s) {
+	case "true", "false", "yes", "no", "on", "off":
+		return true
+	}
+	return false
+}
+
+// ParseBool converts a boolean literal to its value. The second result is
+// false when s is not a boolean literal.
+func ParseBool(s string) (bool, bool) {
+	switch strings.ToLower(s) {
+	case "true", "yes", "on":
+		return true, true
+	case "false", "no", "off":
+		return false, true
+	}
+	return false, false
+}
+
+// IsInt reports whether s is a decimal or 0x-prefixed integer.
+func IsInt(s string) bool {
+	_, ok := ParseInt(s)
+	return ok
+}
+
+// ParseInt parses a decimal or hexadecimal (0x) integer.
+func ParseInt(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	body, neg := s, false
+	if body[0] == '+' || body[0] == '-' {
+		neg = body[0] == '-'
+		body = body[1:]
+	}
+	base := 10
+	if strings.HasPrefix(body, "0x") || strings.HasPrefix(body, "0X") {
+		base = 16
+		body = body[2:]
+	}
+	v, err := strconv.ParseInt(body, base, 64)
+	if err != nil {
+		return 0, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// IsFloat reports whether s parses as a floating-point number. Integers
+// qualify (Int <= Float in the type lattice).
+func IsFloat(s string) bool {
+	_, ok := ParseFloat(s)
+	return ok
+}
+
+// ParseFloat parses a floating-point literal. Hexadecimal integers are
+// rejected; "inf"/"nan" spellings are rejected because they never appear
+// intentionally in configuration data.
+func ParseFloat(s string) (float64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	low := strings.ToLower(s)
+	if strings.Contains(low, "inf") || strings.Contains(low, "nan") || strings.Contains(low, "x") {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// IsPort reports whether s is an integer in the valid TCP/UDP port range.
+func IsPort(s string) bool {
+	v, ok := ParseInt(s)
+	return ok && v >= 1 && v <= 65535 && !strings.HasPrefix(s, "0x") && !strings.HasPrefix(s, "0X")
+}
+
+// IsIP reports whether s is an IPv4 or IPv6 address.
+func IsIP(s string) bool { return net.ParseIP(s) != nil }
+
+// ParseIP parses an IP address; the second result is false on failure.
+func ParseIP(s string) (net.IP, bool) {
+	ip := net.ParseIP(s)
+	return ip, ip != nil
+}
+
+// IsIPRange reports whether s has the form "ip1-ip2" with ip1 <= ip2.
+func IsIPRange(s string) bool {
+	_, _, ok := ParseIPRange(s)
+	return ok
+}
+
+// ParseIPRange parses an "ip1-ip2" range, returning both endpoints.
+func ParseIPRange(s string) (lo, hi net.IP, ok bool) {
+	i := strings.IndexByte(s, '-')
+	if i <= 0 || i == len(s)-1 {
+		return nil, nil, false
+	}
+	lo = net.ParseIP(strings.TrimSpace(s[:i]))
+	hi = net.ParseIP(strings.TrimSpace(s[i+1:]))
+	if lo == nil || hi == nil {
+		return nil, nil, false
+	}
+	if CompareIP(lo, hi) > 0 {
+		return nil, nil, false
+	}
+	return lo, hi, true
+}
+
+// CompareIP orders two IP addresses numerically: -1, 0 or +1.
+// IPv4 addresses order before IPv6.
+func CompareIP(a, b net.IP) int {
+	a4, b4 := a.To4(), b.To4()
+	switch {
+	case a4 != nil && b4 != nil:
+		return compareBytes(a4, b4)
+	case a4 != nil:
+		return -1
+	case b4 != nil:
+		return 1
+	default:
+		return compareBytes(a.To16(), b.To16())
+	}
+}
+
+func compareBytes(a, b []byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// IsCIDR reports whether s is CIDR notation ("10.0.0.0/24").
+func IsCIDR(s string) bool {
+	_, _, err := net.ParseCIDR(s)
+	return err == nil
+}
+
+// IPInCIDR reports whether the address lies inside the CIDR block.
+func IPInCIDR(ipStr, cidrStr string) bool {
+	ip := net.ParseIP(ipStr)
+	if ip == nil {
+		return false
+	}
+	_, block, err := net.ParseCIDR(cidrStr)
+	if err != nil {
+		return false
+	}
+	return block.Contains(ip)
+}
+
+// IsMAC reports whether s is a MAC address in any form net.ParseMAC accepts.
+func IsMAC(s string) bool {
+	if len(s) < 14 { // "01:23:45:67:89:ab" is 17; reject short EUI forms rarely seen in configs
+		return false
+	}
+	_, err := net.ParseMAC(s)
+	return err == nil
+}
+
+// IsGUID reports whether s is a GUID/UUID like
+// "3F2504E0-4F89-11D3-9A0C-0305E82C3301", with or without braces.
+func IsGUID(s string) bool {
+	s = strings.TrimPrefix(strings.TrimSuffix(s, "}"), "{")
+	if len(s) != 36 {
+		return false
+	}
+	for i, c := range s {
+		switch i {
+		case 8, 13, 18, 23:
+			if c != '-' {
+				return false
+			}
+		default:
+			if !isHexDigit(byte(c)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// urlSchemes lists schemes recognized by IsURL.
+var urlSchemes = []string{"http://", "https://", "ftp://", "tcp://", "udp://", "ssh://", "file://", "net.tcp://"}
+
+// IsURL reports whether s looks like a URL with a known scheme and a
+// nonempty host part.
+func IsURL(s string) bool {
+	low := strings.ToLower(s)
+	for _, scheme := range urlSchemes {
+		if strings.HasPrefix(low, scheme) && len(s) > len(scheme) {
+			rest := s[len(scheme):]
+			return !strings.ContainsAny(rest, " \t")
+		}
+	}
+	return false
+}
+
+// IsPathLike reports whether s looks like a filesystem path: a UNC share
+// (\\host\share), a Windows drive path (C:\x), or a Unix absolute path.
+// Relative paths are indistinguishable from free text and are rejected.
+func IsPathLike(s string) bool {
+	if strings.ContainsAny(s, " \t") {
+		return false
+	}
+	switch {
+	case strings.HasPrefix(s, `\\`) && len(s) > 2:
+		return true
+	case len(s) >= 3 && isAlpha(s[0]) && s[1] == ':' && (s[2] == '\\' || s[2] == '/'):
+		return true
+	case strings.HasPrefix(s, "/") && len(s) > 1 && !strings.Contains(s, "//"):
+		return true
+	}
+	return false
+}
+
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+
+// IsHostname reports whether s is a DNS hostname with at least two labels
+// (single labels are indistinguishable from identifiers).
+func IsHostname(s string) bool {
+	if len(s) == 0 || len(s) > 253 || strings.ContainsAny(s, " \t/\\") {
+		return false
+	}
+	labels := strings.Split(s, ".")
+	if len(labels) < 2 {
+		return false
+	}
+	for _, l := range labels {
+		if len(l) == 0 || len(l) > 63 {
+			return false
+		}
+		for i := 0; i < len(l); i++ {
+			c := l[i]
+			ok := isAlpha(c) || c >= '0' && c <= '9' || c == '-'
+			if !ok {
+				return false
+			}
+		}
+		if l[0] == '-' || l[len(l)-1] == '-' {
+			return false
+		}
+	}
+	// All-numeric labels means this is (part of) an IP, not a hostname.
+	allDigits := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c != '.' && (c < '0' || c > '9') {
+			allDigits = false
+			break
+		}
+	}
+	return !allDigits
+}
+
+// IsEmail reports whether s has the form local@domain with a valid
+// hostname domain.
+func IsEmail(s string) bool {
+	at := strings.IndexByte(s, '@')
+	if at <= 0 || at == len(s)-1 {
+		return false
+	}
+	local, domain := s[:at], s[at+1:]
+	if strings.ContainsAny(local, " \t@") {
+		return false
+	}
+	return IsHostname(domain)
+}
+
+// IsVersion reports whether s is a dotted version like "1.2", "2.0.14" or
+// "v3.1.4", with 2 to 4 numeric components.
+func IsVersion(s string) bool {
+	s = strings.TrimPrefix(s, "v")
+	parts := strings.Split(s, ".")
+	if len(parts) < 2 || len(parts) > 4 {
+		return false
+	}
+	for _, p := range parts {
+		if p == "" || len(p) > 6 {
+			return false
+		}
+		for i := 0; i < len(p); i++ {
+			if p[i] < '0' || p[i] > '9' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sizeSuffixes maps size suffixes to their byte multipliers.
+var sizeSuffixes = []struct {
+	suffix string
+	mult   int64
+}{
+	{"tb", 1 << 40}, {"gb", 1 << 30}, {"mb", 1 << 20}, {"kb", 1 << 10}, {"b", 1},
+}
+
+// IsSize reports whether s is a byte size like "512MB" or "4gb".
+func IsSize(s string) bool {
+	_, ok := ParseSize(s)
+	return ok
+}
+
+// ParseSize parses a byte-size literal into bytes.
+func ParseSize(s string) (int64, bool) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	for _, e := range sizeSuffixes {
+		if strings.HasSuffix(low, e.suffix) {
+			num := strings.TrimSpace(strings.TrimSuffix(low, e.suffix))
+			if num == "" {
+				return 0, false
+			}
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil || v < 0 {
+				return 0, false
+			}
+			return int64(v * float64(e.mult)), true
+		}
+	}
+	return 0, false
+}
+
+// durationSuffixes maps duration suffixes to milliseconds.
+var durationSuffixes = []struct {
+	suffix string
+	ms     float64
+}{
+	{"ms", 1}, {"sec", 1000}, {"s", 1000}, {"min", 60000}, {"m", 60000}, {"h", 3600000}, {"d", 86400000},
+}
+
+// IsDuration reports whether s is a duration like "30s", "5min" or "100ms".
+// Bare numbers are not durations (they are ints).
+func IsDuration(s string) bool {
+	_, ok := ParseDuration(s)
+	return ok
+}
+
+// ParseDuration parses a duration literal into milliseconds.
+func ParseDuration(s string) (float64, bool) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	for _, e := range durationSuffixes {
+		if strings.HasSuffix(low, e.suffix) {
+			num := strings.TrimSpace(strings.TrimSuffix(low, e.suffix))
+			if num == "" {
+				return 0, false
+			}
+			v, err := strconv.ParseFloat(num, 64)
+			if err != nil || v < 0 {
+				return 0, false
+			}
+			return v * e.ms, true
+		}
+	}
+	return 0, false
+}
+
+// SplitList splits a raw value on the first list separator that yields more
+// than one element, trimming whitespace. A value with no separator returns
+// a single-element slice.
+func SplitList(raw string) []string {
+	for _, sep := range listSeparators {
+		if strings.Contains(raw, sep) {
+			parts := strings.Split(raw, sep)
+			out := make([]string, len(parts))
+			for i, p := range parts {
+				out[i] = strings.TrimSpace(p)
+			}
+			return out
+		}
+	}
+	return []string{strings.TrimSpace(raw)}
+}
+
+// CompareValues orders two raw values for range/order predicates: numeric
+// comparison when both parse as numbers, IP comparison when both are IPs,
+// version-aware comparison for versions, falling back to string order.
+// The second result is false when the values are incomparable kinds that
+// fell back to string comparison.
+func CompareValues(a, b string) (int, bool) {
+	if fa, oka := ParseFloat(a); oka {
+		if fb, okb := ParseFloat(b); okb {
+			switch {
+			case fa < fb:
+				return -1, true
+			case fa > fb:
+				return 1, true
+			}
+			return 0, true
+		}
+	}
+	if ipa, oka := ParseIP(a); oka {
+		if ipb, okb := ParseIP(b); okb {
+			return CompareIP(ipa, ipb), true
+		}
+	}
+	if IsVersion(a) && IsVersion(b) {
+		return compareVersions(a, b), true
+	}
+	if sa, oka := ParseSize(a); oka {
+		if sb, okb := ParseSize(b); okb {
+			return compareInt64(sa, sb), true
+		}
+	}
+	if da, oka := ParseDuration(a); oka {
+		if db, okb := ParseDuration(b); okb {
+			switch {
+			case da < db:
+				return -1, true
+			case da > db:
+				return 1, true
+			}
+			return 0, true
+		}
+	}
+	return strings.Compare(a, b), false
+}
+
+func compareInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareVersions(a, b string) int {
+	pa := strings.Split(strings.TrimPrefix(a, "v"), ".")
+	pb := strings.Split(strings.TrimPrefix(b, "v"), ".")
+	for i := 0; i < len(pa) || i < len(pb); i++ {
+		var va, vb int64
+		if i < len(pa) {
+			va, _ = ParseInt(pa[i])
+		}
+		if i < len(pb) {
+			vb, _ = ParseInt(pb[i])
+		}
+		if c := compareInt64(va, vb); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

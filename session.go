@@ -1,0 +1,230 @@
+package confvalley
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"confvalley/internal/compiler"
+	"confvalley/internal/config"
+	"confvalley/internal/driver"
+	"confvalley/internal/engine"
+	"confvalley/internal/infer"
+	"confvalley/internal/report"
+	"confvalley/internal/simenv"
+)
+
+// Session is a validation session: configuration sources loaded into the
+// unified representation, plus the environment and options validation
+// runs under. It supports the three usage scenarios of §5.1 — batch
+// validation, interactive one-liners, and editor-style instant checks —
+// through Validate, Check and ValidateProgram.
+//
+// A Session is not safe for concurrent use; the engine parallelizes
+// internally when Parallel is set.
+type Session struct {
+	store *config.Store
+	env   simenv.Env
+
+	// Parallel > 1 partitions specifications across that many workers.
+	Parallel int
+	// StopOnFirst aborts validation at the first violation.
+	StopOnFirst bool
+	// SpecDir resolves relative include paths; defaults to the working
+	// directory.
+	SpecDir string
+
+	// registered in-memory spec files for hermetic includes.
+	includes map[string]string
+	// registered in-memory data sources for hermetic loads.
+	sources map[string][]byte
+}
+
+// NewSession returns an empty session with a simulated environment.
+func NewSession() *Session {
+	return &Session{
+		store:    config.NewStore(),
+		env:      simenv.NewSim(),
+		includes: make(map[string]string),
+		sources:  make(map[string][]byte),
+	}
+}
+
+// Store exposes the unified configuration representation.
+func (s *Session) Store() *config.Store { return s.store }
+
+// SetEnv replaces the environment used by dynamic predicates.
+func (s *Session) SetEnv(env Env) { s.env = env }
+
+// Env returns the current environment.
+func (s *Session) Env() Env { return s.env }
+
+// LoadData parses raw configuration bytes with the named driver and adds
+// the instances, optionally prefixed with a scope.
+func (s *Session) LoadData(format string, data []byte, sourceName, scope string) (int, error) {
+	return driver.LoadInto(s.store, format, data, sourceName, scope)
+}
+
+// LoadFile reads a configuration file from disk and loads it. The format
+// defaults from the file extension when empty.
+func (s *Session) LoadFile(format, path, scope string) (int, error) {
+	if format == "" {
+		format = FormatFromPath(path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("confvalley: reading %s: %w", path, err)
+	}
+	return s.LoadData(format, data, path, scope)
+}
+
+// RegisterSource installs an in-memory data source that CPL load commands
+// can reference by name, keeping sessions hermetic (the rest driver's
+// endpoint registry serves the same purpose for REST loads).
+func (s *Session) RegisterSource(name string, data []byte) {
+	s.sources[name] = data
+}
+
+// RegisterInclude installs an in-memory specification file for CPL
+// include commands.
+func (s *Session) RegisterInclude(name, src string) {
+	s.includes[name] = src
+}
+
+// FormatFromPath guesses a driver name from a file extension.
+func FormatFromPath(path string) string {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".xml":
+		return "xml"
+	case ".ini", ".conf", ".cfg":
+		return "ini"
+	case ".json":
+		return "json"
+	case ".yaml", ".yml":
+		return "yaml"
+	case ".csv":
+		return "csv"
+	default:
+		return "kv"
+	}
+}
+
+// Compile parses and compiles CPL source, resolving includes from
+// registered in-memory files first and the spec directory second.
+func (s *Session) Compile(src string) (*Program, error) {
+	return compiler.CompileWith(src, compiler.Options{
+		Optimize: true,
+		Resolver: s.resolveInclude,
+	})
+}
+
+func (s *Session) resolveInclude(path string) (string, error) {
+	if src, ok := s.includes[path]; ok {
+		return src, nil
+	}
+	full := path
+	if s.SpecDir != "" && !filepath.IsAbs(path) {
+		full = filepath.Join(s.SpecDir, path)
+	}
+	b, err := os.ReadFile(full)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// ValidateProgram executes a compiled program: load commands first (from
+// registered sources or disk), then every specification.
+func (s *Session) ValidateProgram(prog *Program) (*Report, error) {
+	for _, ld := range prog.Loads {
+		if err := s.execLoad(ld); err != nil {
+			return nil, err
+		}
+	}
+	eng := engine.Engine{
+		Store: s.store,
+		Env:   s.env,
+		Opts: engine.Options{
+			StopOnFirst: s.StopOnFirst,
+			Parallel:    s.Parallel,
+		},
+	}
+	return eng.Run(prog), nil
+}
+
+func (s *Session) execLoad(ld compiler.Load) error {
+	if data, ok := s.sources[ld.Source]; ok {
+		_, err := s.LoadData(ld.Driver, data, ld.Source, ld.Scope)
+		return err
+	}
+	if ld.Driver == "rest" {
+		// The rest driver resolves its endpoint registry itself.
+		_, err := s.LoadData("rest", []byte(ld.Source), ld.Source, ld.Scope)
+		return err
+	}
+	_, err := s.LoadFile(ld.Driver, ld.Source, ld.Scope)
+	return err
+}
+
+// Validate compiles CPL source and runs it against the session:
+// the batch scenario.
+func (s *Session) Validate(src string) (*Report, error) {
+	prog, err := s.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.ValidateProgram(prog)
+}
+
+// Check validates a single specification line against the session — the
+// interactive console scenario (§5.1). Unlike Validate it reports
+// success/failure compactly and never mutates session state.
+func (s *Session) Check(line string) (*Report, error) {
+	prog, err := s.Compile(line)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Loads) > 0 {
+		return nil, fmt.Errorf("confvalley: Check does not execute load commands; use Validate")
+	}
+	eng := engine.Engine{Store: s.store, Env: s.env}
+	return eng.Run(prog), nil
+}
+
+// CheckSyntax parses and compiles CPL without executing anything — the
+// editor scenario (§5.1): instant feedback while specifications are
+// typed, catching syntax errors, unknown predicates, bad arities and
+// undefined macros before the data is ever touched.
+func (s *Session) CheckSyntax(src string) error {
+	_, err := s.Compile(src)
+	return err
+}
+
+// Infer mines validation specifications from the session's configuration
+// data, assumed to be a known-good snapshot.
+func (s *Session) Infer(opts InferenceOptions) *InferenceResult {
+	return infer.Infer(s.store, opts)
+}
+
+// InferCPL mines specifications and renders them as a CPL file.
+func (s *Session) InferCPL() string {
+	return s.Infer(infer.Defaults()).GenerateCPL()
+}
+
+// Instances returns the instances matching a CPL notation, the "get"
+// console command.
+func (s *Session) Instances(notation string) ([]*Instance, error) {
+	pat, err := config.ParsePattern(notation)
+	if err != nil {
+		return nil, err
+	}
+	return s.store.Discover(pat), nil
+}
+
+// RenderReport writes a report in the standard human-readable layout.
+func RenderReport(rep *Report, w interface{ Write([]byte) (int, error) }) error {
+	return rep.Render(w)
+}
+
+var _ = report.Report{} // keep the report import explicit for the aliases
