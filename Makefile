@@ -1,0 +1,27 @@
+# Developer entry points. `make tier1` is the gate every change must
+# pass: vet plus the full test suite under the race detector (the plan
+# executor shares cached plans across parallel partitions, so racing the
+# suite is part of the contract, not an optional extra).
+
+GO ?= go
+
+.PHONY: all build tier1 test bench plan-bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+tier1:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -run '^$$' .
+
+# Regenerate the numbers recorded in BENCH_plan.json.
+plan-bench:
+	$(GO) test -bench BenchmarkPlanExecution -benchtime=100x -run '^$$' .

@@ -19,6 +19,7 @@ import (
 	"confvalley/internal/experiments"
 	"confvalley/internal/infer"
 	"confvalley/internal/legacy"
+	"confvalley/internal/plan"
 	"confvalley/internal/simenv"
 	"confvalley/specs"
 )
@@ -292,6 +293,42 @@ func BenchmarkDiscoveryNaiveVsTrie(b *testing.B) {
 	})
 }
 
+// BenchmarkPlanExecution measures the executable-plan layer on the
+// inferred Type A workload: direct AST interpretation, a cold plan
+// (lowering cost included — the cache entry is evicted before each
+// run), and the cached plan.
+func BenchmarkPlanExecution(b *testing.B) {
+	c := azuregen.GenerateA(0.05, 2015)
+	res := infer.Infer(c.Store, infer.Defaults())
+	prog, err := compiler.Compile(res.GenerateCPL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(interpret bool) {
+		eng := engine.Engine{Store: c.Store, Env: simenv.NewSim(), Opts: engine.Options{Interpret: interpret}}
+		eng.Run(prog)
+	}
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(true)
+		}
+	})
+	b.Run("plan-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan.Forget(prog)
+			run(false)
+		}
+	})
+	b.Run("plan-cached", func(b *testing.B) {
+		run(false) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(false)
+		}
+	})
+	plan.Forget(prog)
+}
+
 // BenchmarkCompartmentVsCartesian measures compartment-scoped pairing,
 // the design choice DESIGN.md calls out for ablation.
 func BenchmarkCompartmentVsCartesian(b *testing.B) {
@@ -435,6 +472,14 @@ func TestExperimentsSmoke(t *testing.T) {
 	d := experiments.Discovery(cfg)
 	if d.Speedup < 2 {
 		t.Errorf("discovery speedup = %.1fx, want ≥2x (paper: 5x–40x)", d.Speedup)
+	}
+
+	pa := experiments.PlanAblation(cfg)
+	if pa.SpeedupCached < 2 {
+		t.Errorf("cached-plan speedup = %.1fx over AST interpretation, want ≥2x", pa.SpeedupCached)
+	}
+	if pa.PlanCold > pa.PlanCached*3 {
+		t.Errorf("cold plan %v is implausibly slower than cached %v; lowering cost regressed", pa.PlanCold, pa.PlanCached)
 	}
 
 	t2 := experiments.Table2(cfg)

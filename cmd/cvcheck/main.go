@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cvcheck -spec checks.cpl [-data xml:/path/settings.xml[:Scope]]...
-//	        [-parallel N] [-stop] [-json] [-watch 2s]
+//	        [-parallel N] [-stop] [-json] [-watch 2s] [-interpret]
 //
 // Data sources may also come from load commands inside the specification
 // file. With -watch, cvcheck revalidates whenever the specification or a
@@ -44,6 +44,7 @@ func run() int {
 		stop     = flag.Bool("stop", false, "stop at the first violation")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON")
 		watch    = flag.Duration("watch", 0, "revalidate at this interval when spec or data files change (0 = run once)")
+		interp   = flag.Bool("interpret", false, "execute via the AST interpreter instead of lowered plans")
 		rounds   = flag.Int("watch-rounds", 0, "with -watch, exit after this many validation rounds (0 = forever; for tests)")
 		data     dataFlags
 	)
@@ -55,10 +56,21 @@ func run() int {
 		return 2
 	}
 
+	// Watch rounds where only data changed reuse the compiled program, so
+	// the executable-plan cache keyed on program identity keeps its entry
+	// and revalidation skips both compilation and plan lowering. (Files
+	// pulled in by include commands are not watched; editing one without
+	// touching the top-level spec keeps the cached program, matching the
+	// watch loop's own change detection.)
+	var (
+		lastSrc  string
+		lastProg *confvalley.Program
+	)
 	validateOnce := func() int {
 		s := confvalley.NewSession()
 		s.Parallel = *parallel
 		s.StopOnFirst = *stop
+		s.Interpret = *interp
 		s.SpecDir = filepath.Dir(*specPath)
 		s.SetEnv(confvalley.HostEnv())
 
@@ -81,7 +93,15 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
 			return 2
 		}
-		rep, err := s.Validate(string(src))
+		if lastProg == nil || string(src) != lastSrc {
+			prog, err := s.Compile(string(src))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+				return 2
+			}
+			lastSrc, lastProg = string(src), prog
+		}
+		rep, err := s.ValidateProgram(lastProg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
 			return 2

@@ -29,6 +29,7 @@ import (
 	"confvalley/internal/compiler"
 	"confvalley/internal/config"
 	"confvalley/internal/infer"
+	"confvalley/internal/plan"
 	"confvalley/internal/predicate"
 	"confvalley/internal/report"
 	"confvalley/internal/simenv"
@@ -93,6 +94,12 @@ func DefaultInferenceOptions() InferenceOptions { return infer.Defaults() }
 // ParsePattern parses a CPL configuration notation such as
 // "Cloud::CO2test2.Tenant.SecretKey".
 func ParsePattern(s string) (Pattern, error) { return config.ParsePattern(s) }
+
+// PlanCacheStats reports cumulative hits and misses of the executable
+// plan cache. A program validated repeatedly (watch mode, benchmarks,
+// long-lived sessions) is lowered once and should count one miss
+// followed by hits.
+func PlanCacheStats() (hits, misses uint64) { return plan.CacheStats() }
 
 // ---- Language extension (§4.2.6) ----
 //

@@ -24,7 +24,6 @@ package engine
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +31,7 @@ import (
 	"confvalley/internal/config"
 	"confvalley/internal/cpl/ast"
 	"confvalley/internal/cpl/token"
+	"confvalley/internal/plan"
 	"confvalley/internal/predicate"
 	"confvalley/internal/report"
 	"confvalley/internal/simenv"
@@ -52,6 +52,11 @@ type Options struct {
 	// Parallel > 1 splits the specifications into that many partitions
 	// validated concurrently (Table 8's P10 mode).
 	Parallel int
+	// Interpret evaluates the program by walking its AST instead of
+	// executing the lowered plan — the pre-lowering implementation, kept
+	// for the interpreted-vs-planned ablation and as a semantic oracle
+	// for the plan executor's golden tests.
+	Interpret bool
 }
 
 // Engine validates configuration data against compiled programs.
@@ -66,7 +71,10 @@ func New(st *config.Store) *Engine {
 	return &Engine{Store: st, Env: simenv.NewSim()}
 }
 
-// Run evaluates every specification in the program and returns the report.
+// Run evaluates every specification in the program and returns the
+// report. By default the program is lowered to an executable plan
+// (cached per program; see internal/plan) and the plan is executed;
+// Opts.Interpret selects the original AST-walking evaluation instead.
 func (e *Engine) Run(prog *compiler.Program) *report.Report {
 	if prog.Policies["on_violation"] == "stop" {
 		e.Opts.StopOnFirst = true
@@ -78,22 +86,60 @@ func (e *Engine) Run(prog *compiler.Program) *report.Report {
 		return rep
 	}
 	rep := &report.Report{}
-	for _, spec := range prog.Specs {
-		e.runSpec(prog, spec, rep)
-		if rep.Stopped {
-			break
+	if e.Opts.Interpret {
+		for i, spec := range prog.Specs {
+			e.runSpec(prog, spec, i, rep)
+			if rep.Stopped {
+				break
+			}
 		}
+	} else {
+		plan.For(prog).Run(e.runtime(), rep)
 	}
 	rep.Duration = time.Since(start)
 	return rep
 }
 
-// runParallel partitions specs round-robin and validates concurrently.
+// runtime binds the engine's store, environment and options to a plan
+// runtime.
+func (e *Engine) runtime() *plan.Runtime {
+	return &plan.Runtime{
+		Store:          e.Store,
+		Env:            e.Env,
+		NaiveDiscovery: e.Opts.NaiveDiscovery,
+		StopOnFirst:    e.Opts.StopOnFirst,
+	}
+}
+
+// runParallel partitions spec indexes round-robin and validates
+// concurrently. Merged reports are deterministic: violations carry the
+// spec's execution position and report.Merge restores sequential order.
 func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
 	n := e.Opts.Parallel
-	parts := make([][]*compiler.Spec, n)
-	for i, s := range prog.Specs {
-		parts[i%n] = append(parts[i%n], s)
+	parts := make([][]int, n)
+	for i := range prog.Specs {
+		parts[i%n] = append(parts[i%n], i)
+	}
+	var runPart func(idxs []int, rep *report.Report)
+	if e.Opts.Interpret {
+		runPart = func(idxs []int, rep *report.Report) {
+			sub := &Engine{Store: e.Store, Env: e.Env, Opts: Options{
+				NaiveDiscovery: e.Opts.NaiveDiscovery,
+				StopOnFirst:    e.Opts.StopOnFirst,
+				Interpret:      true,
+			}}
+			for _, j := range idxs {
+				sub.runSpec(prog, prog.Specs[j], j, rep)
+			}
+		}
+	} else {
+		p := plan.For(prog)
+		rt := e.runtime() // read-only during execution; safe to share
+		runPart = func(idxs []int, rep *report.Report) {
+			for _, j := range idxs {
+				p.Specs[j].Run(rt, rep)
+			}
+		}
 	}
 	reps := make([]*report.Report, n)
 	var wg sync.WaitGroup
@@ -101,15 +147,9 @@ func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sub := &Engine{Store: e.Store, Env: e.Env, Opts: Options{
-				NaiveDiscovery: e.Opts.NaiveDiscovery,
-				StopOnFirst:    e.Opts.StopOnFirst,
-			}}
 			rep := &report.Report{}
 			partStart := time.Now()
-			for _, spec := range parts[i] {
-				sub.runSpec(prog, spec, rep)
-			}
+			runPart(parts[i], rep)
 			rep.Duration = time.Since(partStart)
 			reps[i] = rep
 		}(i)
@@ -126,16 +166,25 @@ func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
 // partition's wall time; cvbench uses it for Table 8's P10 columns without
 // depending on the host's core count.
 func (e *Engine) PartitionTimes(prog *compiler.Program, n int) []time.Duration {
-	parts := make([][]*compiler.Spec, n)
-	for i, s := range prog.Specs {
-		parts[i%n] = append(parts[i%n], s)
+	parts := make([][]int, n)
+	for i := range prog.Specs {
+		parts[i%n] = append(parts[i%n], i)
+	}
+	var p *plan.Plan
+	var rt *plan.Runtime
+	if !e.Opts.Interpret {
+		p, rt = plan.For(prog), e.runtime()
 	}
 	out := make([]time.Duration, 0, n)
 	for _, part := range parts {
 		rep := &report.Report{}
 		start := time.Now()
-		for _, spec := range part {
-			e.runSpec(prog, spec, rep)
+		for _, j := range part {
+			if p != nil {
+				p.Specs[j].Run(rt, rep)
+			} else {
+				e.runSpec(prog, prog.Specs[j], j, rep)
+			}
 		}
 		out = append(out, time.Since(start))
 	}
@@ -148,6 +197,7 @@ type evalCtx struct {
 	eng   *Engine
 	prog  *compiler.Program
 	spec  *compiler.Spec
+	seq   int // spec position in execution order, for violation tagging
 	env   map[string]string // variable bindings ($CloudName, $_ handled separately)
 	group string            // current compartment instance prefix; "" = none
 	glen  int               // compartment prefix segment count
@@ -165,12 +215,12 @@ func (c *evalCtx) clone() *evalCtx {
 }
 
 // runSpec evaluates one specification, appending violations to rep.
-func (e *Engine) runSpec(prog *compiler.Program, spec *compiler.Spec, rep *report.Report) {
+func (e *Engine) runSpec(prog *compiler.Program, spec *compiler.Spec, seq int, rep *report.Report) {
 	rep.SpecsRun++
-	ctx := &evalCtx{eng: e, prog: prog, spec: spec, env: map[string]string{}, quant: ast.QuantAll}
+	ctx := &evalCtx{eng: e, prog: prog, spec: spec, seq: seq, env: map[string]string{}, quant: ast.QuantAll}
 	before := len(rep.Violations)
 	if err := e.runConds(ctx, spec, 0, rep); err != nil {
-		rep.SpecErrors = append(rep.SpecErrors, fmt.Sprintf("%s: %v", spec.Text, err))
+		rep.AddSpecError(seq, fmt.Sprintf("%s: %v", spec.Text, err))
 		return
 	}
 	if len(rep.Violations) > before {
@@ -351,22 +401,7 @@ func (e *Engine) compartmentGroups(ctx *evalCtx, comp config.Pattern, dom ast.Do
 }
 
 // baseRef finds the leftmost configuration reference of a domain tree.
-func baseRef(d ast.Domain) *ast.Ref {
-	switch t := d.(type) {
-	case *ast.Ref:
-		return t
-	case *ast.Pipe:
-		return baseRef(t.Src)
-	case *ast.BinaryDomain:
-		if r := baseRef(t.L); r != nil {
-			return r
-		}
-		return baseRef(t.R)
-	case *ast.CompartmentDomain:
-		return baseRef(t.Inner)
-	}
-	return nil
-}
+func baseRef(d ast.Domain) *ast.Ref { return plan.BaseRef(d) }
 
 // evalOneDomain resolves a domain globally and applies the predicate.
 func (e *Engine) evalOneDomain(ctx *evalCtx, spec *compiler.Spec, dom ast.Domain, rep *report.Report) error {
@@ -413,16 +448,16 @@ func (e *Engine) evalElements(ctx *evalCtx, spec *compiler.Spec, elems []value.V
 	switch spec.Quant {
 	case ast.QuantExists:
 		if passing == 0 {
-			rep.Add(e.violation(spec, elems[0], fmt.Sprintf("no instance satisfies the required predicate (%d checked)", len(elems))))
+			rep.Add(e.violation(ctx, elems[0], fmt.Sprintf("no instance satisfies the required predicate (%d checked)", len(elems))))
 		}
 	case ast.QuantOne:
 		if passing != 1 {
-			rep.Add(e.violation(spec, elems[0], fmt.Sprintf("exactly one instance must satisfy the predicate; %d of %d do", passing, len(elems))))
+			rep.Add(e.violation(ctx, elems[0], fmt.Sprintf("exactly one instance must satisfy the predicate; %d of %d do", passing, len(elems))))
 		}
 	default:
 		for i, o := range outs {
 			if !o.pass {
-				rep.Add(e.violation(spec, elems[i], o.msg))
+				rep.Add(e.violation(ctx, elems[i], o.msg))
 				if e.Opts.StopOnFirst {
 					break
 				}
@@ -435,11 +470,13 @@ func (e *Engine) evalElements(ctx *evalCtx, spec *compiler.Spec, elems []value.V
 	return nil
 }
 
-func (e *Engine) violation(spec *compiler.Spec, v value.V, msg string) report.Violation {
+func (e *Engine) violation(ctx *evalCtx, v value.V, msg string) report.Violation {
+	spec := ctx.spec
 	if spec.Message != "" {
 		msg = spec.Message // explicit override (§4.4)
 	}
 	viol := report.Violation{
+		Seq:      ctx.seq,
 		SpecID:   spec.ID,
 		Spec:     spec.Text,
 		Value:    v.String(),
@@ -924,51 +961,14 @@ func (e *Engine) evalPrim(ctx *evalCtx, t *ast.Prim, elems []value.V) ([]outcome
 	return nil, fmt.Errorf("unknown primitive predicate %q", t.Name)
 }
 
-// partitionByClass groups element indexes by their configuration class.
-// Aggregate predicates (unique, consistent, ordered) apply per class: a
-// predicate over class C characterizes C's instances (§4.2.1), and a
-// wildcard reference denotes a set of classes, each checked on its own.
-// Derived values with no provenance share one partition.
-func partitionByClass(elems []value.V) [][]int {
-	byClass := make(map[string][]int)
-	var order []string
-	for i, v := range elems {
-		cp := ""
-		if v.Inst != nil {
-			cp = v.Inst.Key.ClassPath()
-		}
-		if _, ok := byClass[cp]; !ok {
-			order = append(order, cp)
-		}
-		byClass[cp] = append(byClass[cp], i)
-	}
-	out := make([][]int, 0, len(order))
-	for _, cp := range order {
-		out = append(out, byClass[cp])
-	}
-	return out
-}
+// partitionByClass, subset and majorityValue are shared with the plan
+// executor so both evaluation paths agree on aggregate-predicate corner
+// cases.
+func partitionByClass(elems []value.V) [][]int { return plan.PartitionByClass(elems) }
 
-func subset(elems []value.V, idx []int) []value.V {
-	out := make([]value.V, len(idx))
-	for i, j := range idx {
-		out[i] = elems[j]
-	}
-	return out
-}
+func subset(elems []value.V, idx []int) []value.V { return plan.Subset(elems, idx) }
 
-func majorityValue(elems []value.V, viols []int) string {
-	bad := make(map[int]bool, len(viols))
-	for _, i := range viols {
-		bad[i] = true
-	}
-	for i, v := range elems {
-		if !bad[i] {
-			return v.String()
-		}
-	}
-	return ""
-}
+func majorityValue(elems []value.V, viols []int) string { return plan.MajorityValue(elems, viols) }
 
 func (e *Engine) evalRange(ctx *evalCtx, t *ast.Range, elems []value.V) ([]outcome, error) {
 	out := make([]outcome, len(elems))
@@ -1009,32 +1009,9 @@ func (e *Engine) evalRange(ctx *evalCtx, t *ast.Range, elems []value.V) ([]outco
 
 // pairBounds zips lo/hi candidates when they have equal cardinality (the
 // compartment-paired case) and takes the Cartesian product otherwise.
-func pairBounds(los, his []value.V) [][2]value.V {
-	var out [][2]value.V
-	if len(los) == len(his) {
-		for i := range los {
-			out = append(out, [2]value.V{los[i], his[i]})
-		}
-		return out
-	}
-	for _, lo := range los {
-		for _, hi := range his {
-			out = append(out, [2]value.V{lo, hi})
-		}
-	}
-	return out
-}
+func pairBounds(los, his []value.V) [][2]value.V { return plan.PairBounds(los, his) }
 
-func quantHolds(q ast.Quant, matches, total int) bool {
-	switch q {
-	case ast.QuantExists:
-		return matches > 0
-	case ast.QuantOne:
-		return matches == 1
-	default:
-		return matches == total
-	}
-}
+func quantHolds(q ast.Quant, matches, total int) bool { return plan.QuantHolds(q, matches, total) }
 
 func (e *Engine) evalEnum(ctx *evalCtx, t *ast.Enum, elems []value.V) ([]outcome, error) {
 	// Enum membership is inherently existential over the member set; the
@@ -1080,18 +1057,7 @@ func (e *Engine) evalEnum(ctx *evalCtx, t *ast.Enum, elems []value.V) ([]outcome
 	return out, nil
 }
 
-func renderMembers(ms []value.V) string {
-	const max = 5
-	parts := make([]string, 0, max+1)
-	for i, m := range ms {
-		if i == max {
-			parts = append(parts, fmt.Sprintf("... (%d more)", len(ms)-max))
-			break
-		}
-		parts = append(parts, fmt.Sprintf("%q", m.String()))
-	}
-	return "{" + strings.Join(parts, ", ") + "}"
-}
+func renderMembers(ms []value.V) string { return plan.RenderMembers(ms) }
 
 func (e *Engine) evalRel(ctx *evalCtx, t *ast.Rel, elems []value.V) ([]outcome, error) {
 	op := t.Op.String()
@@ -1172,33 +1138,7 @@ func (e *Engine) evalExpr(ctx *evalCtx, x ast.Expr) ([]value.V, error) {
 
 // exprUsesCur reports whether the expression depends on the current
 // element ($_ or a transform over it).
-func exprUsesCur(x ast.Expr) bool {
-	de, ok := x.(*ast.DomainExpr)
-	if !ok {
-		return false
-	}
-	uses := false
-	var walk func(d ast.Domain)
-	walk = func(d ast.Domain) {
-		switch t := d.(type) {
-		case *ast.PipeVar:
-			uses = true
-		case *ast.Pipe:
-			walk(t.Src)
-		case *ast.BinaryDomain:
-			walk(t.L)
-			walk(t.R)
-		case *ast.Ref:
-			for _, v := range t.Pattern.Vars() {
-				if v == "_" {
-					uses = true
-				}
-			}
-		}
-	}
-	walk(de.D)
-	return uses
-}
+func exprUsesCur(x ast.Expr) bool { return plan.ExprUsesCur(x) }
 
 // TypeOfValue names a value's detected type; the interactive console uses
 // it for its :type command.

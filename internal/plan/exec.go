@@ -1,0 +1,260 @@
+package plan
+
+// Execution: runs lowered spec nodes against a Runtime, mirroring the
+// interpreter's control flow — binding conditionals, compartment
+// grouping, quantifier accounting, stop-on-first — so the two paths
+// produce identical reports.
+
+import (
+	"fmt"
+
+	"confvalley/internal/cpl/ast"
+	"confvalley/internal/report"
+	"confvalley/internal/value"
+)
+
+// Run executes every spec node sequentially, appending to rep.
+func (p *Plan) Run(rt *Runtime, rep *report.Report) {
+	for _, n := range p.Specs {
+		n.Run(rt, rep)
+		if rep.Stopped {
+			break
+		}
+	}
+}
+
+// Run evaluates one specification node, appending violations to rep.
+func (n *SpecNode) Run(rt *Runtime, rep *report.Report) {
+	rep.SpecsRun++
+	c := &Ctx{rt: rt, quant: ast.QuantAll}
+	before := len(rep.Violations)
+	if err := n.runConds(c, 0, rep); err != nil {
+		rep.AddSpecError(n.Seq, fmt.Sprintf("%s: %v", n.Spec.Text, err))
+		return
+	}
+	if len(rep.Violations) > before {
+		rep.SpecsFailed++
+		if rt.StopOnFirst {
+			rep.Stopped = true
+		}
+	}
+}
+
+// runConds applies the spec's variable-binding guards left to right, then
+// evaluates the body. Plain (non-binding) guards are deferred to
+// evalElements so that, inside a compartment, they are re-evaluated per
+// compartment instance.
+func (n *SpecNode) runConds(c *Ctx, idx int, rep *report.Report) error {
+	if idx == len(n.conds) {
+		return n.runBody(c, rep)
+	}
+	cn := &n.conds[idx]
+	if cn.bindVar == "" {
+		return n.runConds(c, idx+1, rep)
+	}
+	// Per-value iteration: enumerate the condition domain's values, bind
+	// the variable for each value that satisfies (or fails, for else
+	// bodies) the condition predicate.
+	elems, err := cn.domain(c)
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	for i := range elems {
+		v := elems[i]
+		if v.IsList() || seen[v.Raw] {
+			continue
+		}
+		seen[v.Raw] = true
+		outs, err := cn.pred(c, []value.V{v})
+		if err != nil {
+			return err
+		}
+		if outs[0].pass == cn.negate {
+			continue
+		}
+		savedEnv := c.env
+		env := make(map[string]string, len(savedEnv)+1)
+		for k, vv := range savedEnv {
+			env[k] = vv
+		}
+		env[cn.bindVar] = v.Raw
+		c.env = env
+		err = n.runConds(c, idx+1, rep)
+		c.env = savedEnv
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// holds evaluates a plain conditional as a boolean under its quantifier:
+// ∀ = every element passes (vacuously true when empty), ∃ = some element
+// passes, ∃! = exactly one passes.
+func (cn *condNode) holds(c *Ctx) (bool, error) {
+	elems, err := cn.domain(c)
+	if err != nil {
+		return false, err
+	}
+	outs, err := cn.pred(c, elems)
+	if err != nil {
+		return false, err
+	}
+	passing := 0
+	for _, o := range outs {
+		if o.pass {
+			passing++
+		}
+	}
+	return QuantHolds(cn.quant, passing, len(outs)), nil
+}
+
+// runBody evaluates the spec's domains under their compartments (if any).
+func (n *SpecNode) runBody(c *Ctx, rep *report.Report) error {
+	for i := range n.domains {
+		if rep.Stopped {
+			return nil
+		}
+		de := &n.domains[i]
+		if de.comp == nil {
+			elems, err := de.resolve(c)
+			if err != nil {
+				return err
+			}
+			if err := n.evalElements(c, elems, rep); err != nil {
+				return err
+			}
+			continue
+		}
+		// Compartment evaluation: group the domain's base reference by
+		// compartment instance, then evaluate the full domain (pipeline
+		// included) once per group, so reduce-style transformations and
+		// aggregate predicates stay inside the compartment instance.
+		order, err := de.groups(c)
+		if err != nil {
+			return err
+		}
+		for _, g := range order {
+			if rep.Stopped {
+				return nil
+			}
+			sg, sgl, scp := c.group, c.glen, c.compPattern
+			c.group, c.glen, c.compPattern = g, len(de.comp.Segs), de.comp
+			elems, err := de.resolve(c)
+			if err == nil {
+				err = n.evalElements(c, elems, rep)
+			}
+			c.group, c.glen, c.compPattern = sg, sgl, scp
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// groups resolves the domain's base configuration reference inside the
+// compartment and returns the distinct compartment instance prefixes, in
+// first-appearance order.
+func (de *domainEval) groups(c *Ctx) ([]string, error) {
+	if de.groupRef == nil {
+		return nil, fmt.Errorf("compartment domain has no configuration reference to group by")
+	}
+	sgl, scp := c.glen, c.compPattern
+	c.glen, c.compPattern = len(de.comp.Segs), de.comp
+	ins, err := de.groupRef.resolveInstances(c)
+	c.glen, c.compPattern = sgl, scp
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var order []string
+	for _, in := range ins {
+		g := in.Key.PrefixString(len(de.comp.Segs))
+		if !seen[g] {
+			seen[g] = true
+			order = append(order, g)
+		}
+	}
+	return order, nil
+}
+
+// evalElements applies the spec predicate to an element set and records
+// violations according to the quantifier.
+func (n *SpecNode) evalElements(c *Ctx, elems []value.V, rep *report.Report) error {
+	if len(elems) == 0 {
+		// A compartment instance lacking the domain keys is skipped
+		// (§4.2.2); outside compartments an empty domain is also vacuous.
+		return nil
+	}
+	// Plain conditional guards, evaluated in the current (possibly
+	// compartment-grouped) context.
+	for i := range n.conds {
+		cn := &n.conds[i]
+		if cn.bindVar != "" {
+			continue // already applied by runConds
+		}
+		ok, err := cn.holds(c)
+		if err != nil {
+			return err
+		}
+		if ok == cn.negate {
+			return nil
+		}
+	}
+	rep.InstancesChecked += len(elems)
+	outs, err := n.pred(c, elems)
+	if err != nil {
+		return err
+	}
+	passing := 0
+	for _, o := range outs {
+		if o.pass {
+			passing++
+		}
+	}
+	switch n.Spec.Quant {
+	case ast.QuantExists:
+		if passing == 0 {
+			rep.Add(n.violation(elems[0], fmt.Sprintf("no instance satisfies the required predicate (%d checked)", len(elems))))
+		}
+	case ast.QuantOne:
+		if passing != 1 {
+			rep.Add(n.violation(elems[0], fmt.Sprintf("exactly one instance must satisfy the predicate; %d of %d do", passing, len(elems))))
+		}
+	default:
+		for i, o := range outs {
+			if !o.pass {
+				rep.Add(n.violation(elems[i], o.msg))
+				if c.rt.StopOnFirst {
+					break
+				}
+			}
+		}
+	}
+	if c.rt.StopOnFirst && len(rep.Violations) > 0 {
+		rep.Stopped = true
+	}
+	return nil
+}
+
+func (n *SpecNode) violation(v value.V, msg string) report.Violation {
+	spec := n.Spec
+	if spec.Message != "" {
+		msg = spec.Message // explicit override (§4.4)
+	}
+	viol := report.Violation{
+		Seq:      n.Seq,
+		SpecID:   spec.ID,
+		Spec:     spec.Text,
+		Value:    v.String(),
+		Message:  msg,
+		Severity: spec.Severity,
+	}
+	if v.Inst != nil {
+		viol.Key = v.Inst.Key.String()
+		viol.Source = v.Inst.Source
+	}
+	return viol
+}

@@ -1,0 +1,338 @@
+// Package plan lowers compiled CPL programs into executable plans: the
+// stage between internal/compiler and internal/engine that separates the
+// *interpretation* of configuration semantics from their *execution*.
+//
+// A compiled Program is a tree of AST nodes; interpreting it re-resolves
+// every predicate, transform and literal on each run. Lowering walks each
+// specification once and binds the work that does not depend on the
+// configuration data into closures:
+//
+//   - match patterns are classified (regexp / glob / substring) and
+//     regular expressions compiled exactly once;
+//   - extension predicates and transformations are looked up in their
+//     registries once, their literal arguments pre-evaluated;
+//   - macro references are resolved and inlined;
+//   - static error-message fragments (rendered predicate text, enum
+//     member lists) are rendered once;
+//   - per-spec namespace candidate patterns are pre-built when the
+//     configuration reference has no variables.
+//
+// The result is a flat, dependency-free list of SpecNodes the executor
+// can run sequentially or partition across workers, plus a per-program
+// plan cache (For) so repeated validations of the same program — cvcheck
+// --watch rounds, session reuse, benchmark loops — skip lowering
+// entirely.
+//
+// Lowering never fails: constructs whose errors the interpreter reports
+// at evaluation time (unknown transforms, unbound variables, bad regular
+// expressions) are lowered to closures that reproduce the same error at
+// the same point of execution, so planned and interpreted runs produce
+// byte-identical reports.
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"confvalley/internal/compiler"
+	"confvalley/internal/config"
+	"confvalley/internal/cpl/ast"
+	"confvalley/internal/simenv"
+	"confvalley/internal/value"
+)
+
+// Plan is an executable lowering of a compiled program.
+type Plan struct {
+	// Program is the compiled unit this plan was lowered from.
+	Program *compiler.Program
+	// Specs holds one executable node per specification, in execution
+	// order. The list is dependency-free: any partition of it may run
+	// concurrently against the same store.
+	Specs []*SpecNode
+	// StopOnViolation mirrors the program's on_violation 'stop' policy.
+	StopOnViolation bool
+}
+
+// SpecNode is one specification lowered to closures.
+type SpecNode struct {
+	// Spec is the compiled specification (text, quantifier, severity,
+	// message override) the node was lowered from.
+	Spec *compiler.Spec
+	// Seq is the node's position in execution order; violations carry it
+	// so parallel partition merges can restore sequential report order.
+	Seq int
+
+	conds   []condNode
+	domains []domainEval
+	pred    predFn
+}
+
+// Runtime binds a plan to the data one validation run checks.
+type Runtime struct {
+	Store *config.Store
+	Env   simenv.Env
+	// NaiveDiscovery bypasses the store's indexes (the §5.2 ablation).
+	NaiveDiscovery bool
+	// StopOnFirst aborts at the first violation.
+	StopOnFirst bool
+}
+
+// Ctx carries the evaluation state for one specification. It is the
+// lowered counterpart of the interpreter's evalCtx: one Ctx lives per
+// (spec, run) and is never shared between goroutines, so closures may
+// save/restore fields instead of cloning.
+type Ctx struct {
+	rt    *Runtime
+	env   map[string]string // variable bindings; nil until a cond binds one
+	group string            // current compartment instance prefix; "" = none
+	glen  int               // compartment prefix segment count
+	quant ast.Quant         // quantifier hint for Range/Rel candidates
+	cur   *value.V          // current element for $_ and per-element exprs
+
+	// compPattern is the combined compartment pattern in effect, used to
+	// prefix references resolved inside the compartment.
+	compPattern *config.Pattern
+}
+
+func (c *Ctx) discover(p config.Pattern) []*config.Instance {
+	if c.rt.NaiveDiscovery {
+		return c.rt.Store.DiscoverNaive(p)
+	}
+	return c.rt.Store.Discover(p)
+}
+
+// closure signatures: a domain resolves to an element set, a predicate
+// maps an element set to per-element outcomes, an expression yields its
+// candidate values.
+type (
+	domainFn func(c *Ctx) ([]value.V, error)
+	predFn   func(c *Ctx, elems []value.V) ([]outcome, error)
+	exprFn   func(c *Ctx) ([]value.V, error)
+	stepFn   func(c *Ctx, elems []value.V) ([]value.V, error)
+)
+
+// outcome is the per-element result of a predicate.
+type outcome struct {
+	pass bool
+	msg  string // failure explanation (only when !pass)
+}
+
+// condNode is one lowered conditional guard.
+type condNode struct {
+	bindVar string
+	negate  bool
+	quant   ast.Quant
+	domain  domainFn
+	pred    predFn
+}
+
+// domainEval is one lowered domain with its compartment lifted.
+type domainEval struct {
+	comp     *config.Pattern // combined compartment pattern; nil when none
+	resolve  domainFn        // the inner domain (compartment stripped)
+	groupRef *refNode        // base reference for compartment grouping
+}
+
+// ---- Plan cache ----
+
+// The cache is keyed by program identity (*compiler.Program): a compiled
+// program is immutable after CompileStmts returns, so the pointer is a
+// sound identity. Entries are evicted wholesale past a size bound to keep
+// long sessions that compile many one-off programs from pinning them all.
+const cacheLimit = 128
+
+var (
+	planCache sync.Map // *compiler.Program -> *Plan
+	cacheLen  atomic.Int64
+	cacheHit  atomic.Uint64
+	cacheMiss atomic.Uint64
+)
+
+// For returns the plan for prog, lowering it on first use and caching the
+// result for the program's lifetime.
+func For(prog *compiler.Program) *Plan {
+	if p, ok := planCache.Load(prog); ok {
+		cacheHit.Add(1)
+		return p.(*Plan)
+	}
+	cacheMiss.Add(1)
+	p := Lower(prog)
+	if cacheLen.Load() >= cacheLimit {
+		// Wholesale flush: simpler than LRU bookkeeping and the workloads
+		// that matter (watch loops, session reuse) touch few programs.
+		planCache.Range(func(k, _ any) bool {
+			planCache.Delete(k)
+			cacheLen.Add(-1)
+			return true
+		})
+	}
+	if _, loaded := planCache.LoadOrStore(prog, p); !loaded {
+		cacheLen.Add(1)
+	}
+	return p
+}
+
+// Forget drops prog's cached plan, forcing the next For to lower again.
+// Benchmarks use it to measure cold lowering; callers that retire a
+// program early may use it to release the plan.
+func Forget(prog *compiler.Program) {
+	if _, loaded := planCache.LoadAndDelete(prog); loaded {
+		cacheLen.Add(-1)
+	}
+}
+
+// CacheStats reports cumulative plan-cache hits and misses.
+func CacheStats() (hits, misses uint64) {
+	return cacheHit.Load(), cacheMiss.Load()
+}
+
+// ---- Shared evaluation helpers ----
+//
+// These are used by both the plan executor and the engine's interpreted
+// path; sharing them guarantees the two paths agree on the corner cases
+// (quantifier arithmetic, bound pairing, per-class partitioning).
+
+// QuantHolds applies a quantifier to a match count.
+func QuantHolds(q ast.Quant, matches, total int) bool {
+	switch q {
+	case ast.QuantExists:
+		return matches > 0
+	case ast.QuantOne:
+		return matches == 1
+	default:
+		return matches == total
+	}
+}
+
+// PairBounds zips lo/hi candidates when they have equal cardinality (the
+// compartment-paired case) and takes the Cartesian product otherwise.
+func PairBounds(los, his []value.V) [][2]value.V {
+	var out [][2]value.V
+	if len(los) == len(his) {
+		for i := range los {
+			out = append(out, [2]value.V{los[i], his[i]})
+		}
+		return out
+	}
+	for _, lo := range los {
+		for _, hi := range his {
+			out = append(out, [2]value.V{lo, hi})
+		}
+	}
+	return out
+}
+
+// PartitionByClass groups element indexes by their configuration class.
+// Aggregate predicates (unique, consistent, ordered) apply per class: a
+// predicate over class C characterizes C's instances (§4.2.1), and a
+// wildcard reference denotes a set of classes, each checked on its own.
+// Derived values with no provenance share one partition.
+func PartitionByClass(elems []value.V) [][]int {
+	byClass := make(map[string][]int)
+	var order []string
+	for i, v := range elems {
+		cp := ""
+		if v.Inst != nil {
+			cp = v.Inst.Key.ClassPath()
+		}
+		if _, ok := byClass[cp]; !ok {
+			order = append(order, cp)
+		}
+		byClass[cp] = append(byClass[cp], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, cp := range order {
+		out = append(out, byClass[cp])
+	}
+	return out
+}
+
+// Subset selects elems at the given indexes.
+func Subset(elems []value.V, idx []int) []value.V {
+	out := make([]value.V, len(idx))
+	for i, j := range idx {
+		out[i] = elems[j]
+	}
+	return out
+}
+
+// MajorityValue returns the first value not listed among the violating
+// indexes — the majority representative for consistency messages.
+func MajorityValue(elems []value.V, viols []int) string {
+	bad := make(map[int]bool, len(viols))
+	for _, i := range viols {
+		bad[i] = true
+	}
+	for i, v := range elems {
+		if !bad[i] {
+			return v.String()
+		}
+	}
+	return ""
+}
+
+// RenderMembers renders an enum member set for error messages, elided
+// past five entries.
+func RenderMembers(ms []value.V) string {
+	const max = 5
+	parts := make([]string, 0, max+1)
+	for i, m := range ms {
+		if i == max {
+			parts = append(parts, fmt.Sprintf("... (%d more)", len(ms)-max))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%q", m.String()))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// ExprUsesCur reports whether the expression depends on the current
+// element ($_ or a transform over it).
+func ExprUsesCur(x ast.Expr) bool {
+	de, ok := x.(*ast.DomainExpr)
+	if !ok {
+		return false
+	}
+	uses := false
+	var walk func(d ast.Domain)
+	walk = func(d ast.Domain) {
+		switch t := d.(type) {
+		case *ast.PipeVar:
+			uses = true
+		case *ast.Pipe:
+			walk(t.Src)
+		case *ast.BinaryDomain:
+			walk(t.L)
+			walk(t.R)
+		case *ast.Ref:
+			for _, v := range t.Pattern.Vars() {
+				if v == "_" {
+					uses = true
+				}
+			}
+		}
+	}
+	walk(de.D)
+	return uses
+}
+
+// BaseRef finds the leftmost configuration reference of a domain tree,
+// the reference compartment grouping keys on.
+func BaseRef(d ast.Domain) *ast.Ref {
+	switch t := d.(type) {
+	case *ast.Ref:
+		return t
+	case *ast.Pipe:
+		return BaseRef(t.Src)
+	case *ast.BinaryDomain:
+		if r := BaseRef(t.L); r != nil {
+			return r
+		}
+		return BaseRef(t.R)
+	case *ast.CompartmentDomain:
+		return BaseRef(t.Inner)
+	}
+	return nil
+}

@@ -91,23 +91,26 @@ func MatchPattern(pattern string, v value.V) (bool, error) {
 	return strings.Contains(v.Raw, pattern), nil
 }
 
-var (
-	reMu    sync.Mutex
-	reCache = make(map[string]*regexp.Regexp)
-)
+// reCache memoizes compiled regular expressions — and compile failures,
+// so a bad pattern is not re-parsed on every instance it is checked
+// against. A sync.Map keeps the parallel validation path lock-free once
+// a pattern has been seen.
+var reCache sync.Map // expr string → reEntry
+
+type reEntry struct {
+	re  *regexp.Regexp
+	err error
+}
 
 func compileRegexp(expr string) (*regexp.Regexp, error) {
-	reMu.Lock()
-	defer reMu.Unlock()
-	if re, ok := reCache[expr]; ok {
-		return re, nil
+	if e, ok := reCache.Load(expr); ok {
+		ent := e.(reEntry)
+		return ent.re, ent.err
 	}
 	re, err := regexp.Compile(expr)
-	if err != nil {
-		return nil, err
-	}
-	reCache[expr] = re
-	return re, nil
+	e, _ := reCache.LoadOrStore(expr, reEntry{re, err})
+	ent := e.(reEntry)
+	return ent.re, ent.err
 }
 
 // Orderable compares two raw values when ordering them is meaningful:
@@ -410,4 +413,52 @@ func Reachable(env simenv.Env, v value.V) bool {
 		return len(v.List) > 0
 	}
 	return env.Reachable(v.Raw)
+}
+
+// RelTo specializes Rel for a fixed scalar right-hand side: the right
+// side's typed interpretations are parsed once (vtype.Classify), so
+// per-element checks parse only the left side. The returned check agrees
+// with Rel(op, a, b) on every input; nil when b is a list or op is
+// unknown, in which case callers fall back to Rel.
+func RelTo(op string, b value.V) func(a value.V) (bool, error) {
+	if b.IsList() {
+		return nil
+	}
+	cb := vtype.Classify(b.Raw)
+	switch op {
+	case "==", "!=":
+		neg := op == "!="
+		return func(a value.V) (bool, error) {
+			if a.IsList() {
+				return neg, nil // a list never equals a scalar
+			}
+			eq := a.Raw == cb.Raw
+			if !eq {
+				if c, typed := cb.Compare(a.Raw); typed {
+					eq = c == 0
+				}
+			}
+			return eq != neg, nil
+		}
+	case "<", "<=", ">", ">=":
+		return func(a value.V) (bool, error) {
+			if a.IsList() {
+				return Rel(op, a, b) // mixed shapes: generic path
+			}
+			c, typed := cb.Compare(a.Raw)
+			if !typed && !(cb.Stringish && vtype.Detect(a.Raw).IsString() && strings.TrimSpace(a.Raw) != "") {
+				return true, nil // incomparable: not this check's concern
+			}
+			switch op {
+			case "<":
+				return c < 0, nil
+			case "<=":
+				return c <= 0, nil
+			case ">":
+				return c > 0, nil
+			}
+			return c >= 0, nil
+		}
+	}
+	return nil
 }

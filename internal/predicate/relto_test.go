@@ -1,0 +1,62 @@
+package predicate
+
+import (
+	"testing"
+
+	"confvalley/internal/value"
+)
+
+// relToSamples crosses the typed value domains (numbers, IPs, versions,
+// sizes, durations), plain text, blanks and malformed near-misses.
+var relToSamples = []string{
+	"5", "5.0", "05", "7", "-3", "0",
+	"10.0.0.1", "10.0.0.99", "10.0.0.99x", "255.255.255.255",
+	"v1.2.3", "1.2.10", "2.0",
+	"4KB", "4096", "1GB",
+	"30s", "5m", "1h30m",
+	"alpha", "beta", "", "  ", "id-1", "changeme",
+}
+
+// RelTo must agree with Rel on every operator and every scalar pair, and
+// fall back correctly for lists.
+func TestRelToMatchesRel(t *testing.T) {
+	ops := []string{"==", "!=", "<", "<=", ">", ">="}
+	for _, op := range ops {
+		for _, braw := range relToSamples {
+			b := value.Scalar(braw)
+			f := RelTo(op, b)
+			if f == nil {
+				t.Fatalf("RelTo(%q, %q) = nil for scalar b", op, braw)
+			}
+			for _, araw := range relToSamples {
+				a := value.Scalar(araw)
+				want, err1 := Rel(op, a, b)
+				got, err2 := f(a)
+				if (err1 != nil) != (err2 != nil) {
+					t.Fatalf("%q %s %q: error mismatch: %v vs %v", araw, op, braw, err1, err2)
+				}
+				if want != got {
+					t.Errorf("%q %s %q: Rel = %v, RelTo = %v", araw, op, braw, want, got)
+				}
+			}
+			// Lists on the left must also agree.
+			l := value.ListOf([]value.V{value.Scalar("5"), value.Scalar(braw)})
+			want, _ := Rel(op, l, b)
+			got, _ := f(l)
+			if want != got {
+				t.Errorf("[5 %q] %s %q: Rel = %v, RelTo = %v", braw, op, braw, want, got)
+			}
+		}
+	}
+}
+
+// A list right-hand side and an unknown operator are out of RelTo's
+// scope; callers fall back to Rel.
+func TestRelToUnsupported(t *testing.T) {
+	if RelTo("==", value.ListOf([]value.V{value.Scalar("x")})) != nil {
+		t.Error("RelTo accepted a list right-hand side")
+	}
+	if RelTo("~", value.Scalar("x")) != nil {
+		t.Error("RelTo accepted an unknown operator")
+	}
+}

@@ -57,6 +57,10 @@ func ParseSeverity(s string) (Severity, error) {
 // Violation is one failed check: which specification, which configuration
 // instance, and why.
 type Violation struct {
+	// Seq is the specification's position in program execution order.
+	// Parallel partition merges sort on it so a merged report lists
+	// violations exactly as a sequential run would.
+	Seq      int      `json:"-"`
 	SpecID   int      `json:"spec_id"`
 	Spec     string   `json:"spec"`    // CPL source of the specification
 	Key      string   `json:"key"`     // fully-qualified instance key
@@ -80,20 +84,54 @@ type Report struct {
 	InstancesChecked int           `json:"instances_checked"`
 	Duration         time.Duration `json:"duration_ns"`
 	Stopped          bool          `json:"stopped"` // stop-on-first-violation policy fired
+
+	// errSeq tags each SpecErrors entry with its spec's execution
+	// position (parallel to SpecErrors when populated via AddSpecError),
+	// so Merge can restore sequential order.
+	errSeq []int
 }
 
 // Add appends a violation.
 func (r *Report) Add(v Violation) { r.Violations = append(r.Violations, v) }
 
+// AddSpecError records a spec that could not be evaluated, tagged with
+// its execution position for deterministic merging.
+func (r *Report) AddSpecError(seq int, msg string) {
+	r.SpecErrors = append(r.SpecErrors, msg)
+	r.errSeq = append(r.errSeq, seq)
+}
+
 // Passed reports whether the run found no violations and no broken specs.
 func (r *Report) Passed() bool { return len(r.Violations) == 0 && len(r.SpecErrors) == 0 }
 
-// Merge folds another report (from a parallel partition) into this one.
+// Merge folds another report (from a parallel partition) into this one
+// and restores sequential order: violations are stably sorted by spec
+// execution position, so the merged report reads identically no matter
+// how the partitions were timed. Spec errors are likewise reordered when
+// every entry carries a position tag (AddSpecError); reports built with
+// untagged appends keep their arrival order.
 func (r *Report) Merge(o *Report) {
 	r.Violations = append(r.Violations, o.Violations...)
+	sort.SliceStable(r.Violations, func(i, j int) bool {
+		return r.Violations[i].Seq < r.Violations[j].Seq
+	})
 	r.SpecsRun += o.SpecsRun
 	r.SpecsFailed += o.SpecsFailed
 	r.SpecErrors = append(r.SpecErrors, o.SpecErrors...)
+	r.errSeq = append(r.errSeq, o.errSeq...)
+	if len(r.errSeq) == len(r.SpecErrors) && len(r.errSeq) > 1 {
+		idx := make([]int, len(r.SpecErrors))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return r.errSeq[idx[a]] < r.errSeq[idx[b]] })
+		errs := make([]string, len(idx))
+		seqs := make([]int, len(idx))
+		for i, j := range idx {
+			errs[i], seqs[i] = r.SpecErrors[j], r.errSeq[j]
+		}
+		r.SpecErrors, r.errSeq = errs, seqs
+	}
 	r.InstancesChecked += o.InstancesChecked
 	if o.Duration > r.Duration {
 		r.Duration = o.Duration // parallel wall clock is the max partition time

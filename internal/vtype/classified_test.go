@@ -1,0 +1,46 @@
+package vtype
+
+import (
+	"strings"
+	"testing"
+)
+
+var classifySamples = []string{
+	"5", "5.0", "05", "7", "-3", "0", "3.14",
+	"10.0.0.1", "10.0.0.99", "10.0.0.99x", "::1",
+	"v1.2.3", "1.2.10", "2.0",
+	"4KB", "4096", "1GB", "100MB",
+	"30s", "5m", "1h30m", "250ms",
+	"alpha", "Beta", "", "  ", "id-1",
+	"550e8400-e29b-41d4-a716-446655440000",
+}
+
+// Classified.Compare must agree with CompareValues(a, b) — same order,
+// same typed flag — for every sample pair.
+func TestClassifiedCompareMatchesCompareValues(t *testing.T) {
+	for _, b := range classifySamples {
+		cb := Classify(b)
+		for _, a := range classifySamples {
+			wantC, wantTyped := CompareValues(a, b)
+			gotC, gotTyped := cb.Compare(a)
+			if wantTyped != gotTyped || sign(wantC) != sign(gotC) {
+				t.Errorf("Compare(%q, %q): CompareValues = (%d, %v), Classified = (%d, %v)",
+					a, b, wantC, wantTyped, gotC, gotTyped)
+			}
+		}
+		wantStr := Detect(b).IsString() && strings.TrimSpace(b) != ""
+		if cb.Stringish != wantStr {
+			t.Errorf("Classify(%q).Stringish = %v, want %v", b, cb.Stringish, wantStr)
+		}
+	}
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}

@@ -468,3 +468,79 @@ func compareVersions(a, b string) int {
 	}
 	return 0
 }
+
+// Classified is a raw value with every typed interpretation it admits
+// parsed up front. Repeated comparisons against the same value — an
+// equality peer set, a literal relation bound, enumeration members —
+// classify it once and then parse only the varying side per element,
+// instead of re-running every parser on both sides each time.
+type Classified struct {
+	Raw   string
+	f     float64
+	isF   bool
+	ip    net.IP
+	isIP  bool
+	isVer bool
+	sz    int64
+	isSz  bool
+	dur   float64
+	isDur bool
+	// Stringish records Detect(Raw).IsString() && nonblank, the
+	// plain-text side of predicate.Orderable's fallback rule.
+	Stringish bool
+}
+
+// Classify parses raw into every typed domain once.
+func Classify(raw string) Classified {
+	c := Classified{Raw: raw}
+	c.f, c.isF = ParseFloat(raw)
+	c.ip, c.isIP = ParseIP(raw)
+	c.isVer = IsVersion(raw)
+	c.sz, c.isSz = ParseSize(raw)
+	c.dur, c.isDur = ParseDuration(raw)
+	c.Stringish = Detect(raw).IsString() && strings.TrimSpace(raw) != ""
+	return c
+}
+
+// Compare orders a against the classified value with exactly
+// CompareValues(a, c.Raw) semantics: each typed domain applies only when
+// both sides belong to it, tried in the same order, with the same string
+// fallback.
+func (c *Classified) Compare(a string) (int, bool) {
+	if c.isF {
+		if fa, ok := ParseFloat(a); ok {
+			switch {
+			case fa < c.f:
+				return -1, true
+			case fa > c.f:
+				return 1, true
+			}
+			return 0, true
+		}
+	}
+	if c.isIP {
+		if ipa, ok := ParseIP(a); ok {
+			return CompareIP(ipa, c.ip), true
+		}
+	}
+	if c.isVer && IsVersion(a) {
+		return compareVersions(a, c.Raw), true
+	}
+	if c.isSz {
+		if sa, ok := ParseSize(a); ok {
+			return compareInt64(sa, c.sz), true
+		}
+	}
+	if c.isDur {
+		if da, ok := ParseDuration(a); ok {
+			switch {
+			case da < c.dur:
+				return -1, true
+			case da > c.dur:
+				return 1, true
+			}
+			return 0, true
+		}
+	}
+	return strings.Compare(a, c.Raw), false
+}

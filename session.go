@@ -31,6 +31,10 @@ type Session struct {
 	Parallel int
 	// StopOnFirst aborts validation at the first violation.
 	StopOnFirst bool
+	// Interpret forces direct AST interpretation instead of the lowered
+	// plan executor — an escape hatch and semantic oracle; the two paths
+	// produce identical reports.
+	Interpret bool
 	// SpecDir resolves relative include paths; defaults to the working
 	// directory.
 	SpecDir string
@@ -148,6 +152,7 @@ func (s *Session) ValidateProgram(prog *Program) (*Report, error) {
 		Opts: engine.Options{
 			StopOnFirst: s.StopOnFirst,
 			Parallel:    s.Parallel,
+			Interpret:   s.Interpret,
 		},
 	}
 	return eng.Run(prog), nil
@@ -188,7 +193,7 @@ func (s *Session) Check(line string) (*Report, error) {
 	if len(prog.Loads) > 0 {
 		return nil, fmt.Errorf("confvalley: Check does not execute load commands; use Validate")
 	}
-	eng := engine.Engine{Store: s.store, Env: s.env}
+	eng := engine.Engine{Store: s.store, Env: s.env, Opts: engine.Options{Interpret: s.Interpret}}
 	return eng.Run(prog), nil
 }
 
