@@ -1,0 +1,85 @@
+package config
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// raceStore builds a store whose trie has never been built and whose
+// discovery cache is cold: the state two concurrent multi-segment
+// discoveries race on when buildTrie runs outside the lock. The store is
+// deliberately wide (thousands of classes) so trie construction spans
+// scheduler preemption points even on a single-CPU host, giving the race
+// detector real overlap to observe.
+func raceStore() *Store {
+	st := NewStore()
+	for g := 0; g < 64; g++ {
+		for c := 0; c < 64; c++ {
+			st.Add(&Instance{
+				Key:   K(fmt.Sprintf("CloudGroup::g%d", g), fmt.Sprintf("Cloud::c%d", c), "Timeout"),
+				Value: "30",
+			})
+			st.Add(&Instance{
+				Key:   K(fmt.Sprintf("CloudGroup::g%d", g), fmt.Sprintf("Cloud::c%d", c), "ProxyIP"),
+				Value: "10.0.0.1",
+			})
+		}
+	}
+	return st
+}
+
+// coldPatterns mixes exact multi-segment classes (trie walks) with
+// wildcard segments (trie fan-out), every one distinct so each goroutine
+// takes the cache-miss path.
+func coldPatterns() []Pattern {
+	pats := []Pattern{
+		P("CloudGroup", "Cloud", "Timeout"),
+		P("CloudGroup", "Cloud", "ProxyIP"),
+		P("CloudGroup", "Cloud", "*"),
+		P("*", "Cloud", "Timeout"),
+		P("CloudGroup", "*", "ProxyIP"),
+		P("Cloud*", "Cloud", "Time*"),
+	}
+	for g := 0; g < 16; g++ {
+		pats = append(pats, P(fmt.Sprintf("CloudGroup::g%d", g), "Cloud", "Timeout"))
+	}
+	return pats
+}
+
+// TestConcurrentColdDiscover is the regression test for the buildTrie
+// race: Discover on a cache miss used to (re)build the class-path trie
+// without holding the store lock, so two concurrent cold-cache
+// discoveries wrote st.trie/st.trieDirty while the other read them. Run
+// with -race; the pre-fix store fails with a race report here.
+func TestConcurrentColdDiscover(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	for trial := 0; trial < 3; trial++ {
+		st := raceStore()
+		pats := coldPatterns()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				// Each worker starts at a different offset so distinct
+				// cache-miss discoveries overlap instead of serializing
+				// on one cache key.
+				for i := 0; i < len(pats); i++ {
+					p := pats[(w*3+i)%len(pats)]
+					if len(p.Segs) > 1 && len(st.Discover(p)) == 0 && !p.HasVars() {
+						// Exact three-segment patterns above always match.
+						if !hasGlob(p.Segs[0].Name) && p.Segs[0].Inst == "" {
+							t.Errorf("pattern %s discovered nothing", p)
+						}
+					}
+				}
+			}(w)
+		}
+		close(start)
+		wg.Wait()
+	}
+}

@@ -161,17 +161,23 @@ func (st *Store) Discover(p Pattern) []*Instance {
 	st.Stats.Queries.Add(1)
 	keyStr := p.String()
 	st.mu.RLock()
-	if hit, ok := st.cache[keyStr]; ok {
-		st.mu.RUnlock()
+	hit, ok := st.cache[keyStr]
+	st.mu.RUnlock()
+	if ok {
 		st.Stats.CacheHits.Add(1)
 		return hit
 	}
-	st.mu.RUnlock()
-
-	res := st.discover(p)
+	// Cache miss: compute under the write lock. discover may (re)build
+	// the class-path trie, which mutates st.trie/st.trieDirty; running it
+	// outside the lock let two cold-cache discoveries race on the trie.
 	st.mu.Lock()
+	defer st.mu.Unlock()
+	if hit, ok := st.cache[keyStr]; ok {
+		st.Stats.CacheHits.Add(1)
+		return hit
+	}
+	res := st.discover(p)
 	st.cache[keyStr] = res
-	st.mu.Unlock()
 	return res
 }
 
