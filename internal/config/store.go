@@ -165,7 +165,7 @@ func (st *Store) Discover(p Pattern) []*Instance {
 	st.mu.RUnlock()
 	if ok {
 		st.Stats.CacheHits.Add(1)
-		return hit
+		return copyResult(hit)
 	}
 	// Cache miss: compute under the write lock. discover may (re)build
 	// the class-path trie, which mutates st.trie/st.trieDirty; running it
@@ -174,11 +174,24 @@ func (st *Store) Discover(p Pattern) []*Instance {
 	defer st.mu.Unlock()
 	if hit, ok := st.cache[keyStr]; ok {
 		st.Stats.CacheHits.Add(1)
-		return hit
+		return copyResult(hit)
 	}
 	res := st.discover(p)
 	st.cache[keyStr] = res
-	return res
+	return copyResult(res)
+}
+
+// copyResult hands a discovery result to the caller to own. The cache
+// keeps the canonical slice; callers are allowed to sort, filter or
+// append to what Discover returns (the engine's pipelines do), and an
+// aliased slice would corrupt the cached result for every later query.
+func copyResult(ins []*Instance) []*Instance {
+	if ins == nil {
+		return nil
+	}
+	out := make([]*Instance, len(ins))
+	copy(out, ins)
+	return out
 }
 
 func (st *Store) discover(p Pattern) []*Instance {

@@ -91,6 +91,32 @@ func TestDiscoverCache(t *testing.T) {
 	}
 }
 
+func TestDiscoverResultIsCallerOwned(t *testing.T) {
+	st := listingOneStore()
+	p := P("ControllerReplicas")
+	first := st.Discover(p)
+	if len(first) != 3 {
+		t.Fatalf("discover = %d instances, want 3", len(first))
+	}
+	// A caller may sort or grow its result; the cache must not see it.
+	for i, j := 0, len(first)-1; i < j; i, j = i+1, j-1 {
+		first[i], first[j] = first[j], first[i]
+	}
+	first = append(first, first[0])
+	_ = first
+
+	second := st.Discover(p)
+	if len(second) != 3 {
+		t.Fatalf("after caller mutation, discover = %d instances, want 3", len(second))
+	}
+	slow := st.DiscoverNaive(p)
+	for i := range second {
+		if second[i] != slow[i] {
+			t.Fatalf("cached result corrupted at %d: %s vs %s", i, second[i], slow[i])
+		}
+	}
+}
+
 func TestDiscoverNaiveAgreesWithIndexed(t *testing.T) {
 	st := listingOneStore()
 	for _, pat := range []Pattern{
