@@ -142,3 +142,33 @@ func TestLoCByFormat(t *testing.T) {
 		t.Error("yaml driver missing")
 	}
 }
+
+func TestINIQuoteStripping(t *testing.T) {
+	// Exactly one balanced surrounding pair is removed; anything else is
+	// kept verbatim. The old strings.Trim(val, `"`) stripped whole quote
+	// runs, mangling quoted-empty and quote-bearing values.
+	cases := []struct {
+		raw, want string
+	}{
+		{`"quoted"`, `quoted`}, // plain quoted value
+		{`plain`, `plain`},     // unquoted untouched
+		{`""`, ``},             // quoted empty string
+		{`""""`, `""`},         // quoted literal `""`
+		{`"a""b"`, `a""b`},     // inner quotes survive
+		{`"""`, `"`},           // balanced outer pair of `"`
+		{`""x`, `""x`},         // unbalanced: leading run kept
+		{`x""`, `x""`},         // unbalanced: trailing run kept
+		{`"`, `"`},             // lone quote kept
+		{`"a" "b"`, `a" "b`},   // outer pair only
+		{``, ``},               // empty stays empty
+	}
+	for _, c := range cases {
+		ins := mustParse(t, "ini", "k = "+c.raw+"\n")
+		if len(ins) != 1 {
+			t.Fatalf("%q: parsed %d instances", c.raw, len(ins))
+		}
+		if ins[0].Value != c.want {
+			t.Errorf("ini value %s: got %q, want %q", c.raw, ins[0].Value, c.want)
+		}
+	}
+}

@@ -52,7 +52,7 @@ func (iniDriver) Parse(data []byte, sourceName string) ([]*config.Instance, erro
 		if key == "" {
 			return nil, fmt.Errorf("ini: %s:%d: empty key", sourceName, ln+1)
 		}
-		val = strings.Trim(val, `"`)
+		val = unquoteINI(val)
 		segs := make([]config.Seg, 0, len(scope)+1)
 		segs = append(segs, scope...)
 		segs = append(segs, config.Seg{Name: key})
@@ -64,6 +64,18 @@ func (iniDriver) Parse(data []byte, sourceName string) ([]*config.Instance, erro
 		})
 	}
 	return out, nil
+}
+
+// unquoteINI strips exactly one balanced pair of surrounding double
+// quotes. Trimming every leading/trailing quote mangles values that
+// legitimately contain quotes: `""` (the quoted empty string) became
+// empty-of-empty, and `"a""b"` lost its outer pair and one inner quote.
+// A value that is not wrapped in a balanced pair is left untouched.
+func unquoteINI(val string) string {
+	if len(val) >= 2 && val[0] == '"' && val[len(val)-1] == '"' {
+		return val[1 : len(val)-1]
+	}
+	return val
 }
 
 // kvDriver handles flat key-value stores: one "dotted.key = value" per
