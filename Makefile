@@ -5,13 +5,17 @@
 
 GO ?= go
 
-.PHONY: all build tier1 test bench plan-bench
+.PHONY: all build tier1 test bench plan-bench stress store-bench
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# tier1 includes the concurrency stress suite: `go test -race ./...`
+# picks up the race-hunting tests in internal/config/race_test.go,
+# internal/engine/race_test.go, and swap_test.go along with everything
+# else. `make stress` runs just those, with more iterations.
 tier1:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -25,3 +29,13 @@ bench:
 # Regenerate the numbers recorded in BENCH_plan.json.
 plan-bench:
 	$(GO) test -bench BenchmarkPlanExecution -benchtime=100x -run '^$$' .
+
+# Focused run of the concurrency stress suite under the race detector.
+# -count=3 re-interleaves the schedules; the cold-cache discovery test
+# is the regression gate for the buildTrie race.
+stress:
+	$(GO) test -race -count=3 -run 'TestConcurrent|TestParallelRun|TestSwapStore|TestSnapshotIsolation' ./internal/config/ ./internal/engine/ .
+
+# Regenerate the numbers recorded in BENCH_store.json.
+store-bench:
+	$(GO) test -run xxx -bench BenchmarkShardedDiscovery -benchtime 1s ./internal/config/

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	cvbench [-run all|table2|table3|table4|table5|figure5|table6|table7|
-//	         table8|table9|figure4|discovery|plan] [-full] [-scale S] [-seed N]
+//	         table8|table9|figure4|discovery|plan|storecache]
+//	        [-full] [-scale S] [-seed N]
 //
 // With -full the corpora are generated at paper scale (Type B holds 2.3
 // million instances; expect a multi-gigabyte heap and minutes of wall
@@ -102,6 +103,10 @@ func run() int {
 	if all || want["plan"] {
 		sep()
 		experiments.PlanAblation(cfg)
+	}
+	if all || want["storecache"] {
+		sep()
+		experiments.StoreCache(cfg)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "cvbench: unknown experiment %q\n", *which)

@@ -56,37 +56,45 @@ func run() int {
 		return 2
 	}
 
-	// Watch rounds where only data changed reuse the compiled program, so
-	// the executable-plan cache keyed on program identity keeps its entry
-	// and revalidation skips both compilation and plan lowering. (Files
-	// pulled in by include commands are not watched; editing one without
-	// touching the top-level spec keeps the cached program, matching the
-	// watch loop's own change detection.)
+	// The session persists across watch rounds. Rounds where only data
+	// changed reuse the compiled program, so the executable-plan cache
+	// keyed on program identity keeps its entry and revalidation skips
+	// both compilation and plan lowering. (Files pulled in by include
+	// commands are not watched; editing one without touching the
+	// top-level spec keeps the cached program, matching the watch loop's
+	// own change detection.)
+	//
+	// Each round loads the data files into a *fresh* store built off to
+	// the side and swaps it in atomically: a validation still in flight
+	// pinned the old store's snapshot and finishes against it, instead of
+	// racing a reload mutating the store underneath it.
+	s := confvalley.NewSession()
+	s.Parallel = *parallel
+	s.StopOnFirst = *stop
+	s.Interpret = *interp
+	s.SpecDir = filepath.Dir(*specPath)
+	s.SetEnv(confvalley.HostEnv())
+
 	var (
 		lastSrc  string
 		lastProg *confvalley.Program
 	)
 	validateOnce := func() int {
-		s := confvalley.NewSession()
-		s.Parallel = *parallel
-		s.StopOnFirst = *stop
-		s.Interpret = *interp
-		s.SpecDir = filepath.Dir(*specPath)
-		s.SetEnv(confvalley.HostEnv())
-
+		st := confvalley.NewStore()
 		for _, d := range data {
 			format, path, scope, err := splitDataArg(d)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
 				return 2
 			}
-			n, err := s.LoadFile(format, path, scope)
+			n, err := confvalley.LoadFileInto(st, format, path, scope)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
 				return 2
 			}
 			fmt.Fprintf(os.Stderr, "cvcheck: loaded %d instance(s) from %s\n", n, path)
 		}
+		s.SwapStore(st)
 
 		src, err := os.ReadFile(*specPath)
 		if err != nil {

@@ -54,6 +54,11 @@ type (
 	Key = config.Key
 	// Pattern is a CPL configuration notation.
 	Pattern = config.Pattern
+	// Store is the unified configuration representation: a staging area
+	// for loads plus sealed snapshots that discovery reads lock-free.
+	Store = config.Store
+	// Snapshot is one sealed, immutable view of a Store.
+	Snapshot = config.Snapshot
 	// Program is a compiled CPL unit.
 	Program = compiler.Program
 	// InferenceResult holds mined constraints.
@@ -94,6 +99,11 @@ func DefaultInferenceOptions() InferenceOptions { return infer.Defaults() }
 // ParsePattern parses a CPL configuration notation such as
 // "Cloud::CO2test2.Tenant.SecretKey".
 func ParsePattern(s string) (Pattern, error) { return config.ParsePattern(s) }
+
+// NewStore returns an empty configuration store. Most callers let
+// NewSession build one; watch-style callers construct stores off to the
+// side, fill them with LoadFileInto, and Session.SwapStore them in.
+func NewStore() *Store { return config.NewStore() }
 
 // PlanCacheStats reports cumulative hits and misses of the executable
 // plan cache. A program validated repeatedly (watch mode, benchmarks,

@@ -1,0 +1,152 @@
+package config
+
+import "sort"
+
+// Snapshot is an immutable, sealed view of a Store. The instance list,
+// class indexes and the class-path trie are fixed when the snapshot is
+// sealed, so any number of goroutines may discover against it with no
+// locking at all; the only mutable component is the discovery cache,
+// which is internally synchronized (sharded by pattern hash) and
+// bounded. A run that wants one consistent view of the configuration —
+// a parallel plan execution, a watch round — pins a snapshot once and
+// reads it throughout, unaffected by concurrent Store mutations.
+type Snapshot struct {
+	instances []*Instance
+	byClass   map[string][]*Instance // class ID -> instances, load order
+	classes   []string               // class IDs, load order, deduplicated
+	classSegs map[string][]string    // class ID -> segment names
+	byLeaf    map[string][]string    // leaf name -> class IDs
+	trie      *trieNode              // class-name trie for wildcard queries
+
+	cache discoveryCache
+	stats *DiscoveryStats // shared with the parent store
+}
+
+// Len returns the number of instances sealed into the snapshot.
+func (sn *Snapshot) Len() int { return len(sn.instances) }
+
+// Instances returns all instances in load order. The slice is shared;
+// callers must not modify it.
+func (sn *Snapshot) Instances() []*Instance { return sn.instances }
+
+// Classes returns all class paths (dotted display form) in load order.
+func (sn *Snapshot) Classes() []string {
+	out := make([]string, len(sn.classes))
+	for i, id := range sn.classes {
+		out[i] = displayClass(id)
+	}
+	return out
+}
+
+// ClassInstances returns the instances of one class, identified by its
+// dotted display path as returned by Classes. When a segment name itself
+// contains dots (some key-value stores use dotted parameter names), the
+// display path is ambiguous and the union of matching classes is
+// returned.
+func (sn *Snapshot) ClassInstances(classPath string) []*Instance {
+	var out []*Instance
+	for _, id := range sn.classes {
+		if displayClass(id) == classPath {
+			out = append(out, sn.byClass[id]...)
+		}
+	}
+	return out
+}
+
+// Discover finds all instances matching the pattern, using the sealed
+// class-path indexes and the discovery cache. This is the optimized
+// discovery implementation (§5.2 optimization #1). The returned slice
+// is owned by the caller.
+func (sn *Snapshot) Discover(p Pattern) []*Instance {
+	keyStr := p.String()
+	slot := cacheSlot(keyStr)
+	sn.stats.addQuery(slot)
+	if hit, ok := sn.cache.get(slot, keyStr); ok {
+		sn.stats.addCacheHit(slot)
+		return copyResult(hit)
+	}
+	// Concurrent misses on the same cold key may compute twice; discovery
+	// is deterministic over sealed indexes, so either result may win the
+	// cache slot.
+	res := sn.discover(p)
+	sn.cache.put(slot, keyStr, res)
+	return copyResult(res)
+}
+
+func (sn *Snapshot) discover(p Pattern) []*Instance {
+	if len(p.Segs) == 0 || p.HasVars() {
+		return nil
+	}
+	var classPaths []string
+	if len(p.Segs) == 1 {
+		classPaths = sn.leafClassPaths(p.Segs[0].Name)
+	} else {
+		classPaths = sn.matchClassPaths(p)
+	}
+	var out []*Instance
+	for _, cp := range classPaths {
+		for _, in := range sn.byClass[cp] {
+			if p.MatchKey(in.Key) {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// leafClassPaths returns the class paths whose final segment matches the
+// (possibly wildcarded) leaf name.
+func (sn *Snapshot) leafClassPaths(leafPat string) []string {
+	if !hasGlob(leafPat) {
+		return sn.byLeaf[leafPat]
+	}
+	var out []string
+	for leaf, cps := range sn.byLeaf {
+		if Glob(leafPat, leaf) {
+			out = append(out, cps...)
+		}
+	}
+	sort.Strings(out) // map iteration order is random; keep results stable
+	return out
+}
+
+// matchClassPaths walks the sealed class-path trie to find classes whose
+// segment names match the pattern.
+func (sn *Snapshot) matchClassPaths(p Pattern) []string {
+	var out []string
+	sn.trie.match(p.Segs, 0, &out)
+	return out
+}
+
+// DiscoverNaive is the paper's initial discovery implementation, kept
+// for the §5.2 ablation benchmark: scan every instance, filter by
+// segment count, then compare segment by segment. It bypasses all
+// indexes and the cache.
+func (sn *Snapshot) DiscoverNaive(p Pattern) []*Instance {
+	slot := cacheSlot(p.String())
+	sn.stats.addQuery(slot)
+	scanned := 0
+	var out []*Instance
+	for _, in := range sn.instances {
+		scanned++
+		if len(p.Segs) == 1 {
+			if p.Segs[0].matchSeg(in.Key.Segs[len(in.Key.Segs)-1]) {
+				out = append(out, in)
+			}
+			continue
+		}
+		if len(p.Segs) != len(in.Key.Segs) {
+			continue
+		}
+		if p.MatchKey(in.Key) {
+			out = append(out, in)
+		}
+	}
+	sn.stats.addScanned(slot, int64(scanned))
+	return out
+}
+
+// CacheEntries reports how many discovery results the snapshot's cache
+// currently holds; the bound tests and the watch-mode memory ceiling
+// depend on it staying below the configured limits.
+func (sn *Snapshot) CacheEntries() int { return sn.cache.entries() }

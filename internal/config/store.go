@@ -10,33 +10,39 @@ import (
 // sources and answers instance-discovery queries from the validation
 // engine. Discovery is the hot path (§5.2 reports >5 million queries in
 // some Azure validation runs), so the store maintains a trie over class
-// paths, per-class instance lists, and a query cache.
+// paths, per-class instance lists, and a sharded query cache.
 //
-// A Store is safe for concurrent readers once loading has finished;
-// Add must not race with Discover.
+// Concurrency model (see DESIGN.md "Concurrency model"): mutations
+// (Add/AddAll) build into a mutable staging area under the store lock;
+// Snapshot seals the staging area into an immutable Snapshot whose
+// indexes are read with no locking. Discover routes through the current
+// snapshot. A sealed snapshot is never mutated — the first mutation
+// after a seal clones the index maps (copy-on-write), so goroutines
+// holding the old snapshot keep a consistent view. The Store is safe
+// for concurrent use: Add may race with Discover, and each Discover
+// sees either the pre- or post-Add world, never a torn one.
 type Store struct {
-	instances []*Instance
+	mu sync.Mutex // guards the staging area below and sealing
 
+	instances []*Instance
 	byClass   map[string][]*Instance // class ID -> instances, load order
 	classes   []string               // class IDs, load order, deduplicated
 	classSegs map[string][]string    // class ID -> segment names
 	byLeaf    map[string][]string    // leaf name -> class IDs
-	trie      *trieNode              // class-name trie for wildcard queries
-	trieDirty bool
 
-	mu    sync.RWMutex
-	cache map[string][]*Instance // canonical pattern -> discovery result
+	// snap is the current sealed snapshot, nil when the staging area has
+	// changed since the last seal. shared marks that a sealed snapshot
+	// may still alias the staging maps, so the next mutation must clone
+	// them first.
+	snap   atomic.Pointer[Snapshot]
+	shared bool
+
+	cacheMode CacheMode
 
 	// Stats counts discovery work for the Figure 4 / §5.2 ablations.
-	// Counters are atomic so parallel validation runs race-free.
+	// Counters are striped and atomic so parallel validation runs
+	// race-free; they accumulate across snapshots.
 	Stats DiscoveryStats
-}
-
-// DiscoveryStats counts discovery activity with atomic counters.
-type DiscoveryStats struct {
-	Queries   atomic.Int64 // Discover calls
-	CacheHits atomic.Int64 // served from the cache
-	Scanned   atomic.Int64 // instances examined by naive scans
 }
 
 // NewStore returns an empty store.
@@ -45,13 +51,39 @@ func NewStore() *Store {
 		byClass:   make(map[string][]*Instance),
 		classSegs: make(map[string][]string),
 		byLeaf:    make(map[string][]string),
-		cache:     make(map[string][]*Instance),
 	}
 }
 
-// Add inserts an instance into the store. Loading is single-threaded;
-// Add invalidates the discovery cache.
+// Add inserts an instance into the store. The next Discover (or
+// Snapshot) seals a fresh snapshot; readers holding an earlier snapshot
+// are unaffected.
 func (st *Store) Add(in *Instance) {
+	st.mu.Lock()
+	st.addLocked(in)
+	st.mu.Unlock()
+}
+
+// AddAll inserts a batch of instances under one lock acquisition.
+func (st *Store) AddAll(ins []*Instance) {
+	st.mu.Lock()
+	for _, in := range ins {
+		st.addLocked(in)
+	}
+	st.mu.Unlock()
+}
+
+func (st *Store) addLocked(in *Instance) {
+	if st.shared {
+		// A sealed snapshot aliases the staging maps: clone before the
+		// first mutation so its view stays frozen. Slices need no clone —
+		// snapshots hold full-expression headers, so staging appends
+		// never land inside a sealed view.
+		st.byClass = cloneMap(st.byClass)
+		st.classSegs = cloneMap(st.classSegs)
+		st.byLeaf = cloneMap(st.byLeaf)
+		st.shared = false
+	}
+	st.snap.Store(nil)
 	st.instances = append(st.instances, in)
 	cp := classID(in.Key)
 	if _, seen := st.byClass[cp]; !seen {
@@ -65,48 +97,73 @@ func (st *Store) Add(in *Instance) {
 		st.byLeaf[leaf] = append(st.byLeaf[leaf], cp)
 	}
 	st.byClass[cp] = append(st.byClass[cp], in)
-	st.trieDirty = true
-	if len(st.cache) > 0 {
-		st.cache = make(map[string][]*Instance)
-	}
 }
 
-// AddAll inserts a batch of instances.
-func (st *Store) AddAll(ins []*Instance) {
-	for _, in := range ins {
-		st.Add(in)
+func cloneMap[V any](m map[string]V) map[string]V {
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
 	}
+	return out
+}
+
+// Snapshot seals the staging area into an immutable view, building the
+// class-path trie and a fresh discovery cache, and returns it. Sealing
+// is idempotent until the next mutation: repeated calls return the same
+// pointer via one atomic load.
+func (st *Store) Snapshot() *Snapshot {
+	if sn := st.snap.Load(); sn != nil {
+		return sn
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if sn := st.snap.Load(); sn != nil {
+		return sn
+	}
+	sn := &Snapshot{
+		instances: st.instances[:len(st.instances):len(st.instances)],
+		byClass:   st.byClass,
+		classes:   st.classes[:len(st.classes):len(st.classes)],
+		classSegs: st.classSegs,
+		byLeaf:    st.byLeaf,
+		trie:      buildTrie(st.classes, st.classSegs),
+		cache:     newDiscoveryCache(st.cacheMode),
+		stats:     &st.Stats,
+	}
+	st.snap.Store(sn)
+	st.shared = true
+	return sn
+}
+
+// SetCacheMode selects the discovery-cache implementation for snapshots
+// sealed from now on (the current snapshot is dropped). The single-mutex
+// mode exists for the scaling ablation; production code never calls
+// this.
+func (st *Store) SetCacheMode(m CacheMode) {
+	st.mu.Lock()
+	st.cacheMode = m
+	st.snap.Store(nil) // shared stays true: the old snapshot may live on
+	st.mu.Unlock()
 }
 
 // Len returns the number of instances in the store.
-func (st *Store) Len() int { return len(st.instances) }
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.instances)
+}
 
 // Instances returns all instances in load order. The slice is shared;
 // callers must not modify it.
-func (st *Store) Instances() []*Instance { return st.instances }
+func (st *Store) Instances() []*Instance { return st.Snapshot().Instances() }
 
 // Classes returns all class paths (dotted display form) in load order.
-func (st *Store) Classes() []string {
-	out := make([]string, len(st.classes))
-	for i, id := range st.classes {
-		out[i] = displayClass(id)
-	}
-	return out
-}
+func (st *Store) Classes() []string { return st.Snapshot().Classes() }
 
-// ClassInstances returns the instances of one class, identified by its
-// dotted display path as returned by Classes. When a segment name itself
-// contains dots (some key-value stores use dotted parameter names), the
-// display path is ambiguous and the union of matching classes is
-// returned.
+// ClassInstances returns the instances of one class; see
+// Snapshot.ClassInstances.
 func (st *Store) ClassInstances(classPath string) []*Instance {
-	var out []*Instance
-	for _, id := range st.classes {
-		if displayClass(id) == classPath {
-			out = append(out, st.byClass[id]...)
-		}
-	}
-	return out
+	return st.Snapshot().ClassInstances(classPath)
 }
 
 // classSep separates segment names inside a class ID; it cannot appear in
@@ -154,37 +211,23 @@ func hasClassSep(s string) bool {
 	return false
 }
 
-// Discover finds all instances matching the pattern, using the class-path
-// indexes and the query cache. This is the optimized discovery
-// implementation (§5.2 optimization #1).
+// Discover finds all instances matching the pattern on the current
+// snapshot, sealing one first if the store changed. The returned slice
+// is owned by the caller: the cache keeps the canonical result, and an
+// aliased slice would let a caller that sorts or appends corrupt every
+// later query.
 func (st *Store) Discover(p Pattern) []*Instance {
-	st.Stats.Queries.Add(1)
-	keyStr := p.String()
-	st.mu.RLock()
-	hit, ok := st.cache[keyStr]
-	st.mu.RUnlock()
-	if ok {
-		st.Stats.CacheHits.Add(1)
-		return copyResult(hit)
-	}
-	// Cache miss: compute under the write lock. discover may (re)build
-	// the class-path trie, which mutates st.trie/st.trieDirty; running it
-	// outside the lock let two cold-cache discoveries race on the trie.
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if hit, ok := st.cache[keyStr]; ok {
-		st.Stats.CacheHits.Add(1)
-		return copyResult(hit)
-	}
-	res := st.discover(p)
-	st.cache[keyStr] = res
-	return copyResult(res)
+	return st.Snapshot().Discover(p)
 }
 
-// copyResult hands a discovery result to the caller to own. The cache
-// keeps the canonical slice; callers are allowed to sort, filter or
-// append to what Discover returns (the engine's pipelines do), and an
-// aliased slice would corrupt the cached result for every later query.
+// DiscoverNaive is the paper's initial discovery implementation, kept for
+// the §5.2 ablation benchmark; see Snapshot.DiscoverNaive.
+func (st *Store) DiscoverNaive(p Pattern) []*Instance {
+	return st.Snapshot().DiscoverNaive(p)
+}
+
+// copyResult hands a discovery result to the caller to own; the cache
+// keeps the canonical slice.
 func copyResult(ins []*Instance) []*Instance {
 	if ins == nil {
 		return nil
@@ -194,92 +237,18 @@ func copyResult(ins []*Instance) []*Instance {
 	return out
 }
 
-func (st *Store) discover(p Pattern) []*Instance {
-	if len(p.Segs) == 0 || p.HasVars() {
-		return nil
-	}
-	var classPaths []string
-	if len(p.Segs) == 1 {
-		classPaths = st.leafClassPaths(p.Segs[0].Name)
-	} else {
-		classPaths = st.matchClassPaths(p)
-	}
-	var out []*Instance
-	for _, cp := range classPaths {
-		for _, in := range st.byClass[cp] {
-			if p.MatchKey(in.Key) {
-				out = append(out, in)
-			}
-		}
-	}
-	return out
-}
-
-// leafClassPaths returns the class paths whose final segment matches the
-// (possibly wildcarded) leaf name.
-func (st *Store) leafClassPaths(leafPat string) []string {
-	if !hasGlob(leafPat) {
-		return st.byLeaf[leafPat]
-	}
-	var out []string
-	for leaf, cps := range st.byLeaf {
-		if Glob(leafPat, leaf) {
-			out = append(out, cps...)
-		}
-	}
-	sort.Strings(out) // map iteration order is random; keep results stable
-	return out
-}
-
-// matchClassPaths walks the class-path trie to find classes whose segment
-// names match the pattern.
-func (st *Store) matchClassPaths(p Pattern) []string {
-	st.buildTrie()
-	var out []string
-	st.trie.match(p.Segs, 0, &out)
-	return out
-}
-
-// DiscoverNaive is the paper's initial discovery implementation, kept for
-// the §5.2 ablation benchmark: scan every instance, filter by segment
-// count, then compare segment by segment. It bypasses all indexes and the
-// cache.
-func (st *Store) DiscoverNaive(p Pattern) []*Instance {
-	st.Stats.Queries.Add(1)
-	scanned := 0
-	var out []*Instance
-	for _, in := range st.instances {
-		scanned++
-		if len(p.Segs) == 1 {
-			if p.Segs[0].matchSeg(in.Key.Segs[len(in.Key.Segs)-1]) {
-				out = append(out, in)
-			}
-			continue
-		}
-		if len(p.Segs) != len(in.Key.Segs) {
-			continue
-		}
-		if p.MatchKey(in.Key) {
-			out = append(out, in)
-		}
-	}
-	st.Stats.Scanned.Add(int64(scanned))
-	return out
-}
-
 // ResetStats zeroes the discovery counters.
-func (st *Store) ResetStats() {
-	st.Stats.Queries.Store(0)
-	st.Stats.CacheHits.Store(0)
-	st.Stats.Scanned.Store(0)
-}
+func (st *Store) ResetStats() { st.Stats.reset() }
 
-// InvalidateCache clears the discovery cache (used by benchmarks to
-// measure cold discovery).
+// InvalidateCache clears the current snapshot's discovery cache in
+// place. Benchmarks use it to measure cold discovery; the corpus
+// generators use it after mutating instance values directly (the sealed
+// indexes key on instance *keys*, so value edits only invalidate cached
+// result slices, not the trie).
 func (st *Store) InvalidateCache() {
-	st.mu.Lock()
-	st.cache = make(map[string][]*Instance)
-	st.mu.Unlock()
+	if sn := st.snap.Load(); sn != nil {
+		sn.cache.reset()
+	}
 }
 
 func hasGlob(s string) bool {
@@ -293,6 +262,7 @@ func hasGlob(s string) bool {
 
 // trieNode is a node in the class-path trie. Children are keyed by exact
 // segment name; wildcard pattern segments fan out over all children.
+// Nodes are immutable once their snapshot is sealed.
 type trieNode struct {
 	children map[string]*trieNode
 	// classPath is nonempty when a class terminates at this node.
@@ -303,15 +273,12 @@ func newTrieNode() *trieNode {
 	return &trieNode{children: make(map[string]*trieNode)}
 }
 
-// buildTrie (re)builds the class-path trie if stale.
-func (st *Store) buildTrie() {
-	if !st.trieDirty && st.trie != nil {
-		return
-	}
+// buildTrie builds the class-path trie for a seal.
+func buildTrie(classes []string, classSegs map[string][]string) *trieNode {
 	root := newTrieNode()
-	for _, cp := range st.classes {
+	for _, cp := range classes {
 		node := root
-		for _, name := range st.classSegs[cp] {
+		for _, name := range classSegs[cp] {
 			child, ok := node.children[name]
 			if !ok {
 				child = newTrieNode()
@@ -321,8 +288,7 @@ func (st *Store) buildTrie() {
 		}
 		node.classPath = cp
 	}
-	st.trie = root
-	st.trieDirty = false
+	return root
 }
 
 // match descends the trie along the pattern segments, collecting class

@@ -1,0 +1,69 @@
+package config
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchStore builds the wide store the scaling benchmark queries.
+func benchStore() *Store {
+	st := NewStore()
+	for g := 0; g < 32; g++ {
+		for c := 0; c < 32; c++ {
+			st.Add(&Instance{
+				Key:   K(fmt.Sprintf("CloudGroup::g%d", g), fmt.Sprintf("Cloud::c%d", c), "Timeout"),
+				Value: "30",
+			})
+		}
+	}
+	return st
+}
+
+// benchPatterns is the warm query mix: fully-qualified references whose
+// results are single instances, matching the skew of real validation
+// runs where the same few patterns repeat millions of times (§5.2).
+// Small results keep the copy out of the measurement, so the benchmark
+// isolates the cache lookup itself — the part the sharding changes.
+func benchPatterns() []Pattern {
+	var pats []Pattern
+	for g := 0; g < 16; g++ {
+		pats = append(pats, P(fmt.Sprintf("CloudGroup::g%d", g), fmt.Sprintf("Cloud::c%d", g), "Timeout"))
+	}
+	return pats
+}
+
+// BenchmarkShardedDiscovery measures warm-cache discovery throughput
+// for the sharded cache against the pre-snapshot single-mutex design,
+// at increasing parallelism. The single-mutex cache serializes every
+// hit on one RWMutex (and, before stat striping, one stats cache line);
+// the sharded cache should scale with GOMAXPROCS. cvbench -run
+// storecache runs the same comparison outside the testing framework;
+// BENCH_store.json records the recorded numbers.
+func BenchmarkShardedDiscovery(b *testing.B) {
+	for _, mode := range []CacheMode{CacheSharded, CacheSingleMutex} {
+		for _, procs := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/procs=%d", mode, procs), func(b *testing.B) {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+				st := benchStore()
+				st.SetCacheMode(mode)
+				pats := benchPatterns()
+				sn := st.Snapshot()
+				for _, p := range pats { // warm the cache
+					sn.Discover(p)
+				}
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						if got := sn.Discover(pats[i%len(pats)]); len(got) == 0 {
+							b.Error("warm discovery returned nothing")
+							return
+						}
+						i++
+					}
+				})
+			})
+		}
+	}
+}

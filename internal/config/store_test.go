@@ -77,8 +77,8 @@ func TestDiscoverCache(t *testing.T) {
 	p := P("MonitorNodeHealth")
 	first := st.Discover(p)
 	second := st.Discover(p)
-	if st.Stats.CacheHits.Load() != 1 {
-		t.Errorf("cache hits = %d, want 1", st.Stats.CacheHits.Load())
+	if st.Stats.CacheHits() != 1 {
+		t.Errorf("cache hits = %d, want 1", st.Stats.CacheHits())
 	}
 	if len(first) != len(second) {
 		t.Errorf("cached result differs: %d vs %d", len(first), len(second))

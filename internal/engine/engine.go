@@ -64,6 +64,12 @@ type Engine struct {
 	Store *config.Store
 	Env   simenv.Env
 	Opts  Options
+
+	// snap pins the store's sealed snapshot for the duration of one run,
+	// so every partition of a parallel run — and every discovery inside
+	// it — reads one consistent, lock-free view even if the store is
+	// mutated concurrently (watch-round swaps, live loads).
+	snap *config.Snapshot
 }
 
 // New returns an engine over a store with a simulated environment.
@@ -79,6 +85,7 @@ func (e *Engine) Run(prog *compiler.Program) *report.Report {
 	if prog.Policies["on_violation"] == "stop" {
 		e.Opts.StopOnFirst = true
 	}
+	e.snap = e.Store.Snapshot()
 	start := time.Now()
 	if e.Opts.Parallel > 1 {
 		rep := e.runParallel(prog)
@@ -100,15 +107,25 @@ func (e *Engine) Run(prog *compiler.Program) *report.Report {
 	return rep
 }
 
-// runtime binds the engine's store, environment and options to a plan
-// runtime.
+// runtime binds the engine's pinned snapshot, environment and options
+// to a plan runtime.
 func (e *Engine) runtime() *plan.Runtime {
 	return &plan.Runtime{
 		Store:          e.Store,
+		Snap:           e.snapshot(),
 		Env:            e.Env,
 		NaiveDiscovery: e.Opts.NaiveDiscovery,
 		StopOnFirst:    e.Opts.StopOnFirst,
 	}
+}
+
+// snapshot returns the run-pinned snapshot, falling back to the store's
+// current one for callers that evaluate without going through Run.
+func (e *Engine) snapshot() *config.Snapshot {
+	if e.snap != nil {
+		return e.snap
+	}
+	return e.Store.Snapshot()
 }
 
 // runParallel partitions spec indexes round-robin and validates
@@ -123,7 +140,7 @@ func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
 	var runPart func(idxs []int, rep *report.Report)
 	if e.Opts.Interpret {
 		runPart = func(idxs []int, rep *report.Report) {
-			sub := &Engine{Store: e.Store, Env: e.Env, Opts: Options{
+			sub := &Engine{Store: e.Store, Env: e.Env, snap: e.snapshot(), Opts: Options{
 				NaiveDiscovery: e.Opts.NaiveDiscovery,
 				StopOnFirst:    e.Opts.StopOnFirst,
 				Interpret:      true,
@@ -166,6 +183,7 @@ func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
 // partition's wall time; cvbench uses it for Table 8's P10 columns without
 // depending on the host's core count.
 func (e *Engine) PartitionTimes(prog *compiler.Program, n int) []time.Duration {
+	e.snap = e.Store.Snapshot()
 	parts := make([][]int, n)
 	for i := range prog.Specs {
 		parts[i%n] = append(parts[i%n], i)
@@ -588,10 +606,11 @@ func (e *Engine) resolveRef(ctx *evalCtx, pat config.Pattern) ([]*config.Instanc
 }
 
 func (e *Engine) discover(p config.Pattern) []*config.Instance {
+	sn := e.snapshot()
 	if e.Opts.NaiveDiscovery {
-		return e.Store.DiscoverNaive(p)
+		return sn.DiscoverNaive(p)
 	}
-	return e.Store.Discover(p)
+	return sn.Discover(p)
 }
 
 // applyStep runs one pipeline step over the element set.

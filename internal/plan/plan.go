@@ -72,11 +72,27 @@ type SpecNode struct {
 // Runtime binds a plan to the data one validation run checks.
 type Runtime struct {
 	Store *config.Store
-	Env   simenv.Env
+	// Snap pins one sealed store view for the whole run: every partition
+	// of a parallel execution discovers against the same immutable
+	// indexes with no locking. The engine sets it before sharing the
+	// runtime across goroutines; when nil, each discovery falls back to
+	// the store's current snapshot (an atomic load — cheap, but not
+	// pinned across store swaps).
+	Snap *config.Snapshot
+	Env  simenv.Env
 	// NaiveDiscovery bypasses the store's indexes (the §5.2 ablation).
 	NaiveDiscovery bool
 	// StopOnFirst aborts at the first violation.
 	StopOnFirst bool
+}
+
+// snapshot returns the pinned snapshot, or the store's current one for
+// single-threaded callers that built a bare Runtime.
+func (rt *Runtime) snapshot() *config.Snapshot {
+	if rt.Snap != nil {
+		return rt.Snap
+	}
+	return rt.Store.Snapshot()
 }
 
 // Ctx carries the evaluation state for one specification. It is the
@@ -97,10 +113,11 @@ type Ctx struct {
 }
 
 func (c *Ctx) discover(p config.Pattern) []*config.Instance {
+	sn := c.rt.snapshot()
 	if c.rt.NaiveDiscovery {
-		return c.rt.Store.DiscoverNaive(p)
+		return sn.DiscoverNaive(p)
 	}
-	return c.rt.Store.Discover(p)
+	return sn.Discover(p)
 }
 
 // closure signatures: a domain resolves to an element set, a predicate

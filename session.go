@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"confvalley/internal/compiler"
 	"confvalley/internal/config"
@@ -21,10 +22,12 @@ import (
 // validation, interactive one-liners, and editor-style instant checks —
 // through Validate, Check and ValidateProgram.
 //
-// A Session is not safe for concurrent use; the engine parallelizes
-// internally when Parallel is set.
+// Option fields and registrations are not safe for concurrent mutation,
+// but validation may overlap with SwapStore: each run pins the store's
+// sealed snapshot at start, and the engine parallelizes internally when
+// Parallel is set.
 type Session struct {
-	store *config.Store
+	store atomic.Pointer[config.Store]
 	env   simenv.Env
 
 	// Parallel > 1 partitions specifications across that many workers.
@@ -47,16 +50,27 @@ type Session struct {
 
 // NewSession returns an empty session with a simulated environment.
 func NewSession() *Session {
-	return &Session{
-		store:    config.NewStore(),
+	s := &Session{
 		env:      simenv.NewSim(),
 		includes: make(map[string]string),
 		sources:  make(map[string][]byte),
 	}
+	s.store.Store(config.NewStore())
+	return s
 }
 
 // Store exposes the unified configuration representation.
-func (s *Session) Store() *config.Store { return s.store }
+func (s *Session) Store() *config.Store { return s.store.Load() }
+
+// SwapStore atomically replaces the session's configuration store and
+// returns the previous one. Validations already in flight pinned the
+// old store's snapshot when they started and finish against it
+// undisturbed; runs that start after the swap see the new store.
+// cvcheck's watch mode uses this to swap in a freshly loaded store when
+// data files change instead of mutating a live one.
+func (s *Session) SwapStore(st *config.Store) *config.Store {
+	return s.store.Swap(st)
+}
 
 // SetEnv replaces the environment used by dynamic predicates.
 func (s *Session) SetEnv(env Env) { s.env = env }
@@ -67,12 +81,20 @@ func (s *Session) Env() Env { return s.env }
 // LoadData parses raw configuration bytes with the named driver and adds
 // the instances, optionally prefixed with a scope.
 func (s *Session) LoadData(format string, data []byte, sourceName, scope string) (int, error) {
-	return driver.LoadInto(s.store, format, data, sourceName, scope)
+	return driver.LoadInto(s.store.Load(), format, data, sourceName, scope)
 }
 
 // LoadFile reads a configuration file from disk and loads it. The format
 // defaults from the file extension when empty.
 func (s *Session) LoadFile(format, path, scope string) (int, error) {
+	return LoadFileInto(s.store.Load(), format, path, scope)
+}
+
+// LoadFileInto reads a configuration file from disk and loads it into an
+// arbitrary store, without touching any session. The format defaults
+// from the file extension when empty. Watch-style callers use it to
+// build a fresh store off to the side and SwapStore it in atomically.
+func LoadFileInto(st *config.Store, format, path, scope string) (int, error) {
 	if format == "" {
 		format = FormatFromPath(path)
 	}
@@ -80,7 +102,7 @@ func (s *Session) LoadFile(format, path, scope string) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("confvalley: reading %s: %w", path, err)
 	}
-	return s.LoadData(format, data, path, scope)
+	return driver.LoadInto(st, format, data, path, scope)
 }
 
 // RegisterSource installs an in-memory data source that CPL load commands
@@ -147,7 +169,7 @@ func (s *Session) ValidateProgram(prog *Program) (*Report, error) {
 		}
 	}
 	eng := engine.Engine{
-		Store: s.store,
+		Store: s.store.Load(),
 		Env:   s.env,
 		Opts: engine.Options{
 			StopOnFirst: s.StopOnFirst,
@@ -193,7 +215,7 @@ func (s *Session) Check(line string) (*Report, error) {
 	if len(prog.Loads) > 0 {
 		return nil, fmt.Errorf("confvalley: Check does not execute load commands; use Validate")
 	}
-	eng := engine.Engine{Store: s.store, Env: s.env, Opts: engine.Options{Interpret: s.Interpret}}
+	eng := engine.Engine{Store: s.store.Load(), Env: s.env, Opts: engine.Options{Interpret: s.Interpret}}
 	return eng.Run(prog), nil
 }
 
@@ -209,7 +231,7 @@ func (s *Session) CheckSyntax(src string) error {
 // Infer mines validation specifications from the session's configuration
 // data, assumed to be a known-good snapshot.
 func (s *Session) Infer(opts InferenceOptions) *InferenceResult {
-	return infer.Infer(s.store, opts)
+	return infer.Infer(s.store.Load(), opts)
 }
 
 // InferCPL mines specifications and renders them as a CPL file.
@@ -224,7 +246,7 @@ func (s *Session) Instances(notation string) ([]*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.store.Discover(pat), nil
+	return s.store.Load().Discover(pat), nil
 }
 
 // RenderReport writes a report in the standard human-readable layout.

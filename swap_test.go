@@ -1,0 +1,94 @@
+package confvalley
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"confvalley/internal/driver"
+)
+
+// swapGeneration builds a store whose instances all carry the same
+// generation value, so any validation that mixed two generations would
+// trip the consistency check below.
+func swapGeneration(t *testing.T, gen int) *Store {
+	t.Helper()
+	st := NewStore()
+	data := ""
+	for c := 0; c < 8; c++ {
+		data += fmt.Sprintf("Cluster::c%d.Replicas = %d\n", c, gen)
+	}
+	if _, err := driver.LoadInto(st, "kv", []byte(data), "gen", ""); err != nil {
+		t.Fatalf("load generation %d: %v", gen, err)
+	}
+	return st
+}
+
+// TestSwapStoreDuringValidation swaps whole store generations into a
+// session while validations run against it — the watch-mode data-reload
+// scenario. Each run pins one store at start, so every report must see
+// a single generation: internally consistent, never torn. Run with
+// -race.
+func TestSwapStoreDuringValidation(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	s := NewSession()
+	s.SwapStore(swapGeneration(t, 0))
+	prog, err := s.Compile("$Cluster.Replicas -> int & consistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const generations = 40
+	var done atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for gen := 1; gen <= generations; gen++ {
+			old := s.SwapStore(swapGeneration(t, gen))
+			if old == nil {
+				t.Error("SwapStore returned nil previous store")
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runs := 0
+			for !done.Load() || runs == 0 {
+				rep, err := s.ValidateProgram(prog)
+				if err != nil {
+					t.Errorf("validate: %v", err)
+					return
+				}
+				if !rep.Passed() {
+					t.Errorf("validation saw a torn store generation: %v", rep.Violations)
+					return
+				}
+				runs++
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the last swap the session must answer from the newest store.
+	ins, err := s.Instances("Cluster.Replicas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 8 {
+		t.Fatalf("instances = %d, want 8", len(ins))
+	}
+	for _, in := range ins {
+		if in.Value != fmt.Sprint(generations) {
+			t.Fatalf("instance %s = %s, want generation %d", in.Key, in.Value, generations)
+		}
+	}
+}
