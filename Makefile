@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build tier1 test bench plan-bench stress store-bench
+.PHONY: all build tier1 test bench plan-bench stress store-bench incremental-bench bench-smoke
 
 all: build
 
@@ -39,3 +39,12 @@ stress:
 # Regenerate the numbers recorded in BENCH_store.json.
 store-bench:
 	$(GO) test -run xxx -bench BenchmarkShardedDiscovery -benchtime 1s ./internal/config/
+
+# Regenerate the churn sweep recorded in BENCH_incremental.json.
+incremental-bench:
+	$(GO) run ./cmd/cvbench -run incremental -full
+
+# One iteration of every benchmark — compile/panic smoke, no timing
+# claims. Mirrors the CI "Bench smoke" step.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

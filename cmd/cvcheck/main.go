@@ -6,15 +6,22 @@
 //
 //	cvcheck -spec checks.cpl [-data xml:/path/settings.xml[:Scope]]...
 //	        [-parallel N] [-stop] [-json] [-watch 2s] [-interpret]
+//	        [-no-incremental]
 //
 // Data sources may also come from load commands inside the specification
 // file. With -watch, cvcheck revalidates whenever the specification or a
-// data file changes — the continuous-validation scenario of §5.1. The
-// exit status is 0 when validation passes, 1 on violations, and 2 on
-// usage or compilation errors.
+// data file changes — the continuous-validation scenario of §5.1. Watch
+// rounds are incremental by default: only the specifications whose
+// footprint overlaps the keys changed since the last round re-run
+// (-no-incremental restores full revalidation). With both -watch and
+// -json, each round prints one compact JSON report object to stdout;
+// human-oriented text goes to stderr. The exit status is 0 when
+// validation passes, 1 on violations, and 2 on usage or compilation
+// errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +53,7 @@ func run() int {
 		watch    = flag.Duration("watch", 0, "revalidate at this interval when spec or data files change (0 = run once)")
 		interp   = flag.Bool("interpret", false, "execute via the AST interpreter instead of lowered plans")
 		rounds   = flag.Int("watch-rounds", 0, "with -watch, exit after this many validation rounds (0 = forever; for tests)")
+		noInc    = flag.Bool("no-incremental", false, "with -watch, fully revalidate every round instead of re-running only the specs affected by changed keys")
 		data     dataFlags
 	)
 	flag.Var(&data, "data", "configuration source as format:path[:scope]; repeatable")
@@ -72,6 +80,11 @@ func run() int {
 	s.Parallel = *parallel
 	s.StopOnFirst = *stop
 	s.Interpret = *interp
+	// Watch rounds revalidate a mostly-unchanged corpus, so incremental
+	// mode is the default there: each round diffs the fresh store's
+	// snapshot against the previous round's and re-runs only the specs
+	// whose footprint the changed keys touch.
+	s.Incremental = *watch > 0 && !*noInc
 	s.SpecDir = filepath.Dir(*specPath)
 	s.SetEnv(confvalley.HostEnv())
 
@@ -114,16 +127,34 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
 			return 2
 		}
-		if *asJSON {
+		if s.Incremental {
+			fmt.Fprintf(os.Stderr, "cvcheck: re-ran %d/%d specs (%d reused)\n",
+				rep.SpecsRun-rep.SpecsReused, rep.SpecsRun, rep.SpecsReused)
+		}
+		switch {
+		case *asJSON && *watch > 0:
+			// Watch mode emits one compact JSON object per round on
+			// stdout — a machine-consumable stream; all human-oriented
+			// text (round banners, load counts, re-run stats) stays on
+			// stderr.
+			b, err := json.Marshal(rep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+				return 2
+			}
+			fmt.Println(string(b))
+		case *asJSON:
 			b, err := rep.JSON()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
 				return 2
 			}
 			fmt.Println(string(b))
-		} else if err := rep.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
-			return 2
+		default:
+			if err := rep.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+				return 2
+			}
 		}
 		if rep.Passed() {
 			return 0

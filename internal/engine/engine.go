@@ -158,7 +158,18 @@ func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
 			}
 		}
 	}
-	reps := make([]*report.Report, n)
+	out := &report.Report{}
+	for _, r := range runParts(parts, runPart) {
+		out.Merge(r)
+	}
+	return out
+}
+
+// runParts executes each partition in its own goroutine against its own
+// report and returns them in partition order; callers merge. Shared by
+// the full parallel path and the incremental subset path.
+func runParts(parts [][]int, runPart func(idxs []int, rep *report.Report)) []*report.Report {
+	reps := make([]*report.Report, len(parts))
 	var wg sync.WaitGroup
 	for i := range parts {
 		wg.Add(1)
@@ -172,11 +183,7 @@ func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
 		}(i)
 	}
 	wg.Wait()
-	out := &report.Report{}
-	for _, r := range reps {
-		out.Merge(r)
-	}
-	return out
+	return reps
 }
 
 // PartitionTimes runs each of n partitions sequentially and reports each
@@ -237,16 +244,20 @@ func (e *Engine) runSpec(prog *compiler.Program, spec *compiler.Spec, seq int, r
 	rep.SpecsRun++
 	ctx := &evalCtx{eng: e, prog: prog, spec: spec, seq: seq, env: map[string]string{}, quant: ast.QuantAll}
 	before := len(rep.Violations)
+	instBefore := rep.InstancesChecked
 	if err := e.runConds(ctx, spec, 0, rep); err != nil {
 		rep.AddSpecError(seq, fmt.Sprintf("%s: %v", spec.Text, err))
+		rep.NoteSpec(seq, report.SpecOutcome{Instances: rep.InstancesChecked - instBefore, Errored: true})
 		return
 	}
-	if len(rep.Violations) > before {
+	failed := len(rep.Violations) > before
+	if failed {
 		rep.SpecsFailed++
 		if e.Opts.StopOnFirst {
 			rep.Stopped = true
 		}
 	}
+	rep.NoteSpec(seq, report.SpecOutcome{Instances: rep.InstancesChecked - instBefore, Failed: failed})
 }
 
 // runConds applies the spec's variable-binding guards left to right, then

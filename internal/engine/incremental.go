@@ -1,0 +1,128 @@
+package engine
+
+// Incremental validation: the delta-driven path for watch rounds.
+// Configuration changes on the deployment path arrive as small deltas
+// against a mostly-stable corpus, so a revalidation round rarely needs
+// to re-execute every specification. RunIncremental diffs the new
+// snapshot against the previous one, re-runs only the specs whose
+// static footprint overlaps the changed keys, and splices the cached
+// per-spec verdicts back in execution order. The spliced report matches
+// a full run field for field, except SpecsReused (always 0 on a full
+// run) and Duration (wall time is wall time).
+//
+// The contract assumes the program, environment and engine options are
+// unchanged between the previous run and this one — only the store may
+// differ. cvcheck's watch mode satisfies this by construction; callers
+// that mutate the environment between rounds must fall back to Run.
+
+import (
+	"time"
+
+	"confvalley/internal/compiler"
+	"confvalley/internal/config"
+	"confvalley/internal/plan"
+	"confvalley/internal/report"
+)
+
+// PinnedSnapshot returns the snapshot the engine's most recent Run or
+// RunIncremental validated against. Callers retaining state for a later
+// incremental round pair it with the run's report.
+func (e *Engine) PinnedSnapshot() *config.Snapshot { return e.snap }
+
+// RunIncremental validates prog against the store's current snapshot,
+// reusing per-spec verdicts from a previous run where the diff against
+// prevSnap proves them still valid. It falls back to a full Run when
+// reuse is unsound or unavailable: no previous state, an untagged or
+// stopped previous report, interpreted execution, or a stop-on-first
+// policy (a truncated run has no complete verdict set to splice from,
+// and its stop point depends on global execution order).
+func (e *Engine) RunIncremental(prog *compiler.Program, prevSnap *config.Snapshot, prevRep *report.Report) *report.Report {
+	if prog.Policies["on_violation"] == "stop" {
+		e.Opts.StopOnFirst = true
+	}
+	if prevSnap == nil || prevRep == nil || prevRep.Stopped || !prevRep.Tagged() ||
+		e.Opts.Interpret || e.Opts.StopOnFirst {
+		return e.Run(prog)
+	}
+	start := time.Now()
+	e.snap = e.Store.Snapshot()
+	p := plan.For(prog)
+	delta := e.snap.Diff(prevSnap)
+
+	// Partition via the footprint index: a spec re-runs when it is
+	// dynamic, when any changed key matches its footprint, or when the
+	// previous report holds no verdict for it.
+	rerun := make([]int, 0, len(p.Specs))
+	isRerun := make([]bool, len(p.Specs))
+	for i, n := range p.Specs {
+		fp := n.Footprint()
+		if _, cached := prevRep.Outcome(i); !cached || fp.Dynamic || delta.OverlapsAny(fp.Patterns) {
+			rerun = append(rerun, i)
+			isRerun[i] = true
+		}
+	}
+
+	if len(rerun) == len(p.Specs) {
+		// Nothing to reuse — the delta touched every footprint. The plain
+		// full path produces the same report without splice bookkeeping.
+		return e.Run(prog)
+	}
+
+	fresh := e.runSubset(p, rerun)
+
+	// Splice: walk specs in execution order, taking each one's verdicts
+	// from the fresh run or the previous report. Violations and spec
+	// errors append in Seq order, which is exactly the order a full run
+	// (sequential or merged-parallel) produces.
+	out := &report.Report{SpecsReused: len(p.Specs) - len(rerun)}
+	for seq := range p.Specs {
+		src := prevRep
+		if isRerun[seq] {
+			src = fresh
+		}
+		o, _ := src.Outcome(seq)
+		out.SpecsRun++
+		out.InstancesChecked += o.Instances
+		if o.Failed {
+			out.SpecsFailed++
+		}
+		out.Violations = append(out.Violations, src.ViolationsFor(seq)...)
+		for _, msg := range src.ErrorsFor(seq) {
+			out.AddSpecError(seq, msg)
+		}
+		out.NoteSpec(seq, o)
+	}
+	out.Duration = time.Since(start)
+	return out
+}
+
+// runSubset executes the given spec indexes against the pinned
+// snapshot, reusing the parallel partition machinery (round-robin
+// partitions, deterministic Seq-ordered merge) when Opts.Parallel > 1.
+func (e *Engine) runSubset(p *plan.Plan, idxs []int) *report.Report {
+	rep := &report.Report{}
+	if len(idxs) == 0 {
+		return rep
+	}
+	rt := e.runtime()
+	if e.Opts.Parallel > 1 {
+		n := e.Opts.Parallel
+		parts := make([][]int, n)
+		for i, j := range idxs {
+			parts[i%n] = append(parts[i%n], j)
+		}
+		reps := runParts(parts, func(idxs []int, sub *report.Report) {
+			for _, j := range idxs {
+				p.Specs[j].Run(rt, sub)
+			}
+		})
+		for _, r := range reps {
+			rep.Merge(r)
+		}
+		return rep
+	}
+	for _, j := range idxs {
+		p.Specs[j].Run(rt, rep)
+	}
+	return rep
+}

@@ -15,8 +15,11 @@ package infer
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"confvalley/internal/config"
@@ -80,6 +83,11 @@ type Options struct {
 	MinConsistency int
 	// MinUniqueness is the minimum instance count to infer uniqueness.
 	MinUniqueness int
+	// Workers bounds the per-class inference worker pool; 0 uses
+	// runtime.GOMAXPROCS(0). The output is deterministic regardless:
+	// per-class results land in a slice indexed by class position and
+	// merge in class (load) order.
+	Workers int
 }
 
 // Defaults returns the paper's heuristic settings.
@@ -168,31 +176,78 @@ func Infer(st *config.Store, opts Options) *Result {
 	res.InstancesAnalyzed = st.Len()
 
 	// Per-class constraints, plus bookkeeping for equality clustering.
+	// Each class is independent, so the per-class mining fans out over a
+	// bounded worker pool; results land in a slice indexed by class
+	// position and merge below in class (load) order, so the output is
+	// byte-identical to the sequential loop no matter the worker count
+	// or scheduling.
 	type classFact struct {
 		class      string
 		consistent bool
 		soleValue  string
 		n          int
 	}
-	var facts []classFact
-	for _, class := range st.Classes() {
+	type classOut struct {
+		cs   []Constraint
+		fact classFact
+	}
+	classes := st.Classes()
+	outs := make([]classOut, len(classes))
+	mine := func(i int) {
+		class := classes[i]
 		ins := st.ClassInstances(class)
 		values := make([]string, len(ins))
-		for i, in := range ins {
-			values[i] = in.Value
+		for j, in := range ins {
+			values[j] = in.Value
 		}
-		cs := inferClass(class, values, opts)
-		for _, c := range cs {
+		set := distinct(values)
+		outs[i] = classOut{
+			cs: inferClass(class, values, opts),
+			fact: classFact{
+				class:      class,
+				consistent: len(set) == 1,
+				soleValue:  values[0],
+				n:          len(values),
+			},
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(classes) {
+		workers = len(classes)
+	}
+	if workers <= 1 {
+		for i := range classes {
+			mine(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(classes) {
+						return
+					}
+					mine(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	facts := make([]classFact, 0, len(classes))
+	for i := range outs {
+		class := classes[i]
+		for _, c := range outs[i].cs {
 			res.Constraints = append(res.Constraints, c)
 			res.PerClass[class] = append(res.PerClass[class], c)
 		}
-		set := distinct(values)
-		facts = append(facts, classFact{
-			class:      class,
-			consistent: len(set) == 1,
-			soleValue:  values[0],
-			n:          len(values),
-		})
+		facts = append(facts, outs[i].fact)
 	}
 
 	// Equality among parameters: cluster consistent classes by value.

@@ -1,0 +1,86 @@
+package infer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"confvalley/internal/config"
+)
+
+// parallelBenchStore builds a corpus with many classes so the per-class
+// worker pool has real fan-out to chew on.
+func parallelBenchStore(nClasses, perClass int) *config.Store {
+	rng := rand.New(rand.NewSource(7))
+	st := config.NewStore()
+	for c := 0; c < nClasses; c++ {
+		param := fmt.Sprintf("Param%d", c)
+		for i := 0; i < perClass; i++ {
+			var val string
+			switch c % 4 {
+			case 0:
+				val = fmt.Sprintf("%d", 10+rng.Intn(40))
+			case 1:
+				val = fmt.Sprintf("10.0.%d.%d", c%200, 1+rng.Intn(250))
+			case 2:
+				val = []string{"true", "false"}[rng.Intn(2)]
+			default:
+				val = fmt.Sprintf("node-%d-%d", c, i)
+			}
+			st.Add(&config.Instance{
+				Key: config.K(fmt.Sprintf("Cluster::n%d", i%8),
+					fmt.Sprintf("Group%d", c%16), param),
+				Value: val,
+			})
+		}
+	}
+	return st
+}
+
+// The worker pool must not change the mined output: any worker count
+// produces the same constraints in the same order as the sequential
+// loop, down to the rendered CPL.
+func TestInferParallelDeterministic(t *testing.T) {
+	st := parallelBenchStore(60, 25)
+	base := Defaults()
+	base.Workers = 1
+	want := Infer(st, base)
+	wantCPL := want.GenerateCPL()
+	for _, workers := range []int{2, 4, 8, 16} {
+		opts := Defaults()
+		opts.Workers = workers
+		got := Infer(st, opts)
+		if len(got.Constraints) != len(want.Constraints) {
+			t.Fatalf("workers=%d: %d constraints, sequential mined %d",
+				workers, len(got.Constraints), len(want.Constraints))
+		}
+		for i := range want.Constraints {
+			w, g := want.Constraints[i], got.Constraints[i]
+			if w.Kind != g.Kind || w.Class != g.Class || w.CPL != g.CPL {
+				t.Fatalf("workers=%d: constraint %d differs: %+v vs %+v", workers, i, g, w)
+			}
+		}
+		if cpl := got.GenerateCPL(); cpl != wantCPL {
+			t.Errorf("workers=%d: generated CPL differs from sequential output", workers)
+		}
+	}
+}
+
+// BenchmarkInferWorkers shows the per-class pool's scaling. On a
+// single-hardware-thread host all worker counts degenerate to roughly
+// sequential throughput; the interesting numbers come from multi-core
+// machines.
+func BenchmarkInferWorkers(b *testing.B) {
+	st := parallelBenchStore(120, 60)
+	st.Snapshot() // seal once so the benchmark measures mining, not sealing
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := Defaults()
+			opts.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Infer(st, opts)
+			}
+		})
+	}
+}

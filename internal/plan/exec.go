@@ -28,16 +28,20 @@ func (n *SpecNode) Run(rt *Runtime, rep *report.Report) {
 	rep.SpecsRun++
 	c := &Ctx{rt: rt, quant: ast.QuantAll}
 	before := len(rep.Violations)
+	instBefore := rep.InstancesChecked
 	if err := n.runConds(c, 0, rep); err != nil {
 		rep.AddSpecError(n.Seq, fmt.Sprintf("%s: %v", n.Spec.Text, err))
+		rep.NoteSpec(n.Seq, report.SpecOutcome{Instances: rep.InstancesChecked - instBefore, Errored: true})
 		return
 	}
-	if len(rep.Violations) > before {
+	failed := len(rep.Violations) > before
+	if failed {
 		rep.SpecsFailed++
 		if rt.StopOnFirst {
 			rep.Stopped = true
 		}
 	}
+	rep.NoteSpec(n.Seq, report.SpecOutcome{Instances: rep.InstancesChecked - instBefore, Failed: failed})
 }
 
 // runConds applies the spec's variable-binding guards left to right, then

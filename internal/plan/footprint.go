@@ -1,0 +1,233 @@
+package plan
+
+// Footprint extraction: one more pass of the lowering walk that collects
+// every discovery pattern a specification can ever hand to the store —
+// domain references, condition domains, predicate-embedded domains
+// (range bounds, enum members, relation right-hand sides, call and
+// transform arguments) — expanded across all namespace and compartment
+// prefixes the runtime resolution order could try. The incremental
+// engine re-runs a spec when any changed key matches any footprint
+// pattern; a spec whose reads cannot be bounded statically is marked
+// Dynamic and re-runs every round.
+//
+// Soundness argument, in terms of the executor:
+//
+//   - refNode.resolveInstances tries candidates in resolution order
+//     (compartment+namespace, compartment, namespaces, bare) and stops
+//     at the first non-empty result. Which candidate wins depends on
+//     the data, so the footprint includes *every* candidate: a change
+//     matching a losing candidate can flip the winner.
+//   - Plain conditional guards evaluate inside the compartment context,
+//     so condition references get compartment-prefixed candidates too.
+//   - A reference containing variables ($_ from a pipeline, a
+//     condition-bound variable, an index variable) discovers patterns
+//     assembled from data; the spec is Dynamic.
+//   - Environment-reading predicates (exists, reachable, registered
+//     Calls) are not configuration reads; incremental validation
+//     assumes the environment is unchanged between rounds.
+//   - Any construct the walk cannot see through — including undefined
+//     macros and unsupported nodes whose lowered closures error at run
+//     time — makes the spec Dynamic.
+
+import (
+	"confvalley/internal/compiler"
+	"confvalley/internal/config"
+	"confvalley/internal/cpl/ast"
+)
+
+// Footprint is the static read set of one specification.
+type Footprint struct {
+	// Patterns are all discovery patterns the spec can pass to the
+	// store, deduplicated, with every namespace and compartment prefix
+	// candidate expanded. Meaningful only when !Dynamic.
+	Patterns []config.Pattern
+	// Dynamic marks a spec whose reads are data-dependent (piped $_
+	// references, condition-bound variables) or unanalyzable; it must
+	// re-run on every incremental round.
+	Dynamic bool
+}
+
+// Footprint returns the spec node's static read set, extracted during
+// lowering.
+func (n *SpecNode) Footprint() Footprint { return n.fp }
+
+// macroDepthLimit bounds macro inlining during the footprint walk; the
+// compiler rejects recursive macros, so this is a belt-and-suspenders
+// guard that degrades to Dynamic instead of overflowing.
+const macroDepthLimit = 64
+
+type fpBuilder struct {
+	prog  *compiler.Program
+	spec  *compiler.Spec
+	comps []config.Pattern // every compartment context a ref may resolve under
+	seen  map[string]bool
+	fp    Footprint
+	depth int
+}
+
+// extractFootprint computes the footprint of one compiled specification.
+func extractFootprint(prog *compiler.Program, spec *compiler.Spec) Footprint {
+	b := &fpBuilder{prog: prog, spec: spec, seen: make(map[string]bool)}
+	b.collectComps()
+	for _, cond := range spec.Conds {
+		b.walkDomain(cond.Spec.Domain)
+		b.walkPred(cond.Spec.Pred)
+	}
+	for _, dom := range spec.Domains {
+		b.walkDomain(dom)
+	}
+	b.walkPred(spec.Pred)
+	if b.fp.Dynamic {
+		b.fp.Patterns = nil
+	}
+	return b.fp
+}
+
+// collectComps gathers the compartment patterns any reference in the
+// spec may be resolved under: the spec-level compartment plus each
+// inline-lifted one, mirroring lowerDomainEval.
+func (b *fpBuilder) collectComps() {
+	add := func(p *config.Pattern) {
+		if p == nil {
+			return
+		}
+		for _, have := range b.comps {
+			if have.String() == p.String() {
+				return
+			}
+		}
+		b.comps = append(b.comps, *p)
+	}
+	add(b.spec.Compartment)
+	for _, dom := range b.spec.Domains {
+		var cd *ast.CompartmentDomain
+		switch t := dom.(type) {
+		case *ast.CompartmentDomain:
+			cd = t
+		case *ast.Pipe:
+			if c, ok := t.Src.(*ast.CompartmentDomain); ok {
+				cd = c
+			}
+		}
+		if cd == nil {
+			continue
+		}
+		p := cd.Scope
+		if b.spec.Compartment != nil {
+			p = cd.Scope.Prefixed(*b.spec.Compartment)
+		}
+		add(&p)
+	}
+}
+
+// addRef records a configuration reference under every candidate prefix
+// the executor could try. References with variables are data-dependent:
+// the spec becomes Dynamic.
+func (b *fpBuilder) addRef(pat config.Pattern) {
+	if pat.HasVars() {
+		b.fp.Dynamic = true
+		return
+	}
+	add := func(p config.Pattern) {
+		ps := p.String()
+		if b.seen[ps] {
+			return
+		}
+		b.seen[ps] = true
+		b.fp.Patterns = append(b.fp.Patterns, p)
+	}
+	add(pat)
+	for _, ns := range b.spec.Namespaces {
+		add(pat.Prefixed(ns))
+	}
+	for _, comp := range b.comps {
+		add(pat.Prefixed(comp))
+		for _, ns := range b.spec.Namespaces {
+			add(pat.Prefixed(ns).Prefixed(comp))
+		}
+	}
+}
+
+func (b *fpBuilder) walkDomain(d ast.Domain) {
+	switch t := d.(type) {
+	case *ast.Ref:
+		b.addRef(t.Pattern)
+	case *ast.PipeVar:
+		// $_ reads the current pipeline element, not the store.
+	case *ast.Pipe:
+		b.walkDomain(t.Src)
+		for _, s := range t.Steps {
+			if s.Guard != nil {
+				b.walkPred(s.Guard)
+			}
+			for _, a := range s.T.Args {
+				b.walkExpr(a)
+			}
+		}
+	case *ast.BinaryDomain:
+		b.walkDomain(t.L)
+		b.walkDomain(t.R)
+	case *ast.CompartmentDomain:
+		b.walkDomain(t.Inner)
+	default:
+		b.fp.Dynamic = true
+	}
+}
+
+func (b *fpBuilder) walkExpr(x ast.Expr) {
+	switch t := x.(type) {
+	case *ast.Lit:
+	case *ast.DomainExpr:
+		b.walkDomain(t.D)
+	default:
+		b.fp.Dynamic = true
+	}
+}
+
+func (b *fpBuilder) walkPred(p ast.Pred) {
+	switch t := p.(type) {
+	case nil:
+	case *ast.And:
+		b.walkPred(t.L)
+		b.walkPred(t.R)
+	case *ast.Or:
+		b.walkPred(t.L)
+		b.walkPred(t.R)
+	case *ast.Not:
+		b.walkPred(t.X)
+	case *ast.QuantPred:
+		b.walkPred(t.X)
+	case *ast.IfPred:
+		b.walkPred(t.Cond)
+		b.walkPred(t.Then)
+		if t.Else != nil {
+			b.walkPred(t.Else)
+		}
+	case *ast.MacroRef:
+		m, ok := b.prog.Macros[t.Name]
+		if !ok || b.depth >= macroDepthLimit {
+			b.fp.Dynamic = true
+			return
+		}
+		b.depth++
+		b.walkPred(m)
+		b.depth--
+	case *ast.TypePred, *ast.Prim, *ast.Match:
+		// Element-only (or environment-only) predicates: no store reads.
+	case *ast.Range:
+		b.walkExpr(t.Lo)
+		b.walkExpr(t.Hi)
+	case *ast.Enum:
+		for _, el := range t.Elems {
+			b.walkExpr(el)
+		}
+	case *ast.Rel:
+		b.walkExpr(t.Rhs)
+	case *ast.Call:
+		for _, a := range t.Args {
+			b.walkExpr(a)
+		}
+	default:
+		b.fp.Dynamic = true
+	}
+}

@@ -63,6 +63,7 @@ func (lw *lowerer) lowerSpec(spec *compiler.Spec, seq int) *SpecNode {
 		n.domains[i] = lw.lowerDomainEval(spec, dom)
 	}
 	n.pred = lw.lowerPred(spec.Pred)
+	n.fp = extractFootprint(lw.prog, spec)
 	return n
 }
 

@@ -67,6 +67,7 @@ type SpecNode struct {
 	conds   []condNode
 	domains []domainEval
 	pred    predFn
+	fp      Footprint // static read set; see footprint.go
 }
 
 // Runtime binds a plan to the data one validation run checks.

@@ -82,14 +82,75 @@ type Report struct {
 	SpecsFailed      int           `json:"specs_failed"`
 	SpecErrors       []string      `json:"spec_errors,omitempty"` // specs that could not be evaluated
 	InstancesChecked int           `json:"instances_checked"`
-	Duration         time.Duration `json:"duration_ns"`
-	Stopped          bool          `json:"stopped"` // stop-on-first-violation policy fired
+	// SpecsReused counts specs whose cached verdicts an incremental run
+	// spliced in instead of re-executing; 0 on a full run.
+	SpecsReused int           `json:"specs_reused,omitempty"`
+	Duration    time.Duration `json:"duration_ns"`
+	Stopped     bool          `json:"stopped"` // stop-on-first-violation policy fired
 
 	// errSeq tags each SpecErrors entry with its spec's execution
 	// position (parallel to SpecErrors when populated via AddSpecError),
 	// so Merge can restore sequential order.
 	errSeq []int
+	// perSpec records each spec's individual accounting (instance count,
+	// failed/errored), keyed by execution position. Incremental runs need
+	// it to splice cached per-spec verdicts into aggregates that match a
+	// full run exactly. Not serialized: a report parsed back from JSON is
+	// not spliceable.
+	perSpec map[int]SpecOutcome
 }
+
+// SpecOutcome is one spec's contribution to a report's aggregate
+// counters, recorded so an incremental run can reuse it without
+// re-executing the spec.
+type SpecOutcome struct {
+	Instances int  // contribution to InstancesChecked
+	Failed    bool // counted in SpecsFailed
+	Errored   bool // produced SpecErrors entries (never Failed too)
+}
+
+// NoteSpec records one spec's per-run accounting.
+func (r *Report) NoteSpec(seq int, o SpecOutcome) {
+	if r.perSpec == nil {
+		r.perSpec = make(map[int]SpecOutcome)
+	}
+	r.perSpec[seq] = o
+}
+
+// Outcome returns the recorded accounting for one spec, and whether the
+// report holds one.
+func (r *Report) Outcome(seq int) (SpecOutcome, bool) {
+	o, ok := r.perSpec[seq]
+	return o, ok
+}
+
+// ViolationsFor returns the violations of one spec, in report order.
+func (r *Report) ViolationsFor(seq int) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Seq == seq {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ErrorsFor returns the spec-error messages of one spec, in report
+// order. Meaningful only when Tagged reports true.
+func (r *Report) ErrorsFor(seq int) []string {
+	var out []string
+	for i, s := range r.errSeq {
+		if s == seq {
+			out = append(out, r.SpecErrors[i])
+		}
+	}
+	return out
+}
+
+// Tagged reports whether every spec error carries its execution-position
+// tag, i.e. whether ErrorsFor can attribute all of them. Reports built
+// through the engine always are; hand-appended SpecErrors are not.
+func (r *Report) Tagged() bool { return len(r.errSeq) == len(r.SpecErrors) }
 
 // Add appends a violation.
 func (r *Report) Add(v Violation) { r.Violations = append(r.Violations, v) }
@@ -133,10 +194,19 @@ func (r *Report) Merge(o *Report) {
 		r.SpecErrors, r.errSeq = errs, seqs
 	}
 	r.InstancesChecked += o.InstancesChecked
+	r.SpecsReused += o.SpecsReused
 	if o.Duration > r.Duration {
 		r.Duration = o.Duration // parallel wall clock is the max partition time
 	}
 	r.Stopped = r.Stopped || o.Stopped
+	if len(o.perSpec) > 0 {
+		if r.perSpec == nil {
+			r.perSpec = make(map[int]SpecOutcome, len(o.perSpec))
+		}
+		for seq, so := range o.perSpec {
+			r.perSpec[seq] = so
+		}
+	}
 }
 
 // ConstraintGroup is the by-specification view of violations.

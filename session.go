@@ -38,6 +38,16 @@ type Session struct {
 	// plan executor — an escape hatch and semantic oracle; the two paths
 	// produce identical reports.
 	Interpret bool
+	// Incremental enables delta-driven revalidation: ValidateProgram
+	// retains each run's (snapshot, report) pair, and the next run of
+	// the *same* compiled program re-executes only the specifications
+	// whose static footprint overlaps the keys that changed since, with
+	// the rest spliced from the cached report (engine.RunIncremental).
+	// The retained pair survives SwapStore — a fresh store's snapshot is
+	// diffed against the previous one, which is exactly cvcheck's
+	// watch-round pattern. Incremental rounds assume the environment is
+	// unchanged between runs; call SetEnv only before the first run.
+	Incremental bool
 	// SpecDir resolves relative include paths; defaults to the working
 	// directory.
 	SpecDir string
@@ -46,6 +56,19 @@ type Session struct {
 	includes map[string]string
 	// registered in-memory data sources for hermetic loads.
 	sources map[string][]byte
+
+	// last retains the most recent validated (program, snapshot, report)
+	// triple for Incremental mode. All three are immutable once stored,
+	// so concurrent rounds may race on the pointer safely; last writer
+	// wins and the loser's state is simply not reused.
+	last atomic.Pointer[lastRun]
+}
+
+// lastRun is one completed validation retained for incremental reuse.
+type lastRun struct {
+	prog *compiler.Program
+	snap *config.Snapshot
+	rep  *report.Report
 }
 
 // NewSession returns an empty session with a simulated environment.
@@ -168,7 +191,7 @@ func (s *Session) ValidateProgram(prog *Program) (*Report, error) {
 			return nil, err
 		}
 	}
-	eng := engine.Engine{
+	eng := &engine.Engine{
 		Store: s.store.Load(),
 		Env:   s.env,
 		Opts: engine.Options{
@@ -177,7 +200,27 @@ func (s *Session) ValidateProgram(prog *Program) (*Report, error) {
 			Interpret:   s.Interpret,
 		},
 	}
-	return eng.Run(prog), nil
+	if !s.Incremental {
+		return eng.Run(prog), nil
+	}
+	var rep *report.Report
+	if last := s.last.Load(); last != nil && last.prog == prog {
+		rep = eng.RunIncremental(prog, last.snap, last.rep)
+	} else {
+		// First round, or a different program: full run seeds the cache.
+		rep = eng.Run(prog)
+	}
+	s.last.Store(&lastRun{prog: prog, snap: eng.PinnedSnapshot(), rep: rep})
+	return rep, nil
+}
+
+// LastReport returns the report retained by the most recent Incremental
+// validation round, or nil when none has run.
+func (s *Session) LastReport() *Report {
+	if last := s.last.Load(); last != nil {
+		return last.rep
+	}
+	return nil
 }
 
 func (s *Session) execLoad(ld compiler.Load) error {
