@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build tier1 test bench plan-bench stress store-bench incremental-bench bench-smoke
+.PHONY: all build tier1 test bench plan-bench stress store-bench incremental-bench fault-bench fuzz-smoke bench-smoke
 
 all: build
 
@@ -32,9 +32,10 @@ plan-bench:
 
 # Focused run of the concurrency stress suite under the race detector.
 # -count=3 re-interleaves the schedules; the cold-cache discovery test
-# is the regression gate for the buildTrie race.
+# is the regression gate for the buildTrie race, and the chaos suite
+# drives multi-round watch sessions through injected ingestion faults.
 stress:
-	$(GO) test -race -count=3 -run 'TestConcurrent|TestParallelRun|TestSwapStore|TestSnapshotIsolation' ./internal/config/ ./internal/engine/ .
+	$(GO) test -race -count=3 -run 'TestConcurrent|TestParallelRun|TestSwapStore|TestSnapshotIsolation|TestChaos' ./internal/config/ ./internal/engine/ .
 
 # Regenerate the numbers recorded in BENCH_store.json.
 store-bench:
@@ -43,6 +44,17 @@ store-bench:
 # Regenerate the churn sweep recorded in BENCH_incremental.json.
 incremental-bench:
 	$(GO) run ./cmd/cvbench -run incremental -full
+
+# Regenerate the happy-path overhead numbers recorded in BENCH_fault.json.
+fault-bench:
+	$(GO) run ./cmd/cvbench -run fault -full
+
+# Short coverage-guided run of each driver fuzzer on top of the checked-in
+# seeds. Mirrors the CI "Fuzz smoke" step; a crasher fails the target.
+fuzz-smoke:
+	for f in FuzzINI FuzzKV FuzzCSV FuzzYAML FuzzJSON FuzzXML; do \
+		$(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime 10s ./internal/driver/ || exit 1; \
+	done
 
 # One iteration of every benchmark — compile/panic smoke, no timing
 # claims. Mirrors the CI "Bench smoke" step.

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	cvbench [-run all|table2|table3|table4|table5|figure5|table6|table7|
-//	         table8|table9|figure4|discovery|plan|storecache|incremental]
+//	         table8|table9|figure4|discovery|plan|storecache|incremental|
+//	         fault]
 //	        [-full] [-scale S] [-seed N]
 //
 // With -full the corpora are generated at paper scale (Type B holds 2.3
@@ -111,6 +112,10 @@ func run() int {
 	if all || want["incremental"] {
 		sep()
 		experiments.Incremental(cfg)
+	}
+	if all || want["fault"] {
+		sep()
+		experiments.FaultTolerance(cfg)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "cvbench: unknown experiment %q\n", *which)

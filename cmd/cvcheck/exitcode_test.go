@@ -1,0 +1,190 @@
+package main
+
+// End-to-end exit-code contract of the cvcheck binary, driven through
+// run(): 0 clean, 1 violations, 2 usage/spec errors, 3 every source
+// failed. Degraded-but-nonempty rounds still validate and exit 0/1.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runCvcheck(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCodeClean(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"s.cpl": "$app.timeout -> int & [1, 60]\n",
+		"d.kv":  "app.timeout = 30\n",
+	})
+	code, out, _ := runCvcheck(t, "-spec", filepath.Join(dir, "s.cpl"), "-data", "kv:"+filepath.Join(dir, "d.kv"))
+	if code != 0 {
+		t.Fatalf("clean run exited %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 violation(s)") {
+		t.Fatalf("report not rendered:\n%s", out)
+	}
+}
+
+func TestExitCodeViolations(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"s.cpl": "$app.timeout -> int & [1, 60]\n",
+		"d.kv":  "app.timeout = 400\n",
+	})
+	code, out, _ := runCvcheck(t, "-spec", filepath.Join(dir, "s.cpl"), "-data", "kv:"+filepath.Join(dir, "d.kv"))
+	if code != 1 {
+		t.Fatalf("violating run exited %d, want 1\n%s", code, out)
+	}
+}
+
+func TestExitCodeUsageErrors(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"s.cpl":   "$a -> int\n",
+		"bad.cpl": "$$ not cpl at all\n",
+	})
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing -spec", nil},
+		{"unknown flag", []string{"-spec", filepath.Join(dir, "s.cpl"), "-bogus"}},
+		{"bad -data arg", []string{"-spec", filepath.Join(dir, "s.cpl"), "-data", "nocolon"}},
+		{"missing spec file", []string{"-spec", filepath.Join(dir, "absent.cpl")}},
+		{"spec does not compile", []string{"-spec", filepath.Join(dir, "bad.cpl")}},
+	}
+	for _, c := range cases {
+		if code, _, _ := runCvcheck(t, c.args...); code != 2 {
+			t.Errorf("%s: exited %d, want 2", c.name, code)
+		}
+	}
+}
+
+// Every source failing — whether passed via -data or via load commands in
+// the spec file — exits 3 with nothing validated.
+func TestExitCodeAllSourcesFailed(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"s.cpl":     "$app.timeout -> int\n",
+		"torn.json": `{"app":`,
+	})
+	code, _, errb := runCvcheck(t,
+		"-spec", filepath.Join(dir, "s.cpl"),
+		"-data", "json:"+filepath.Join(dir, "torn.json"),
+		"-data", "json:"+filepath.Join(dir, "absent.json"))
+	if code != 3 {
+		t.Fatalf("all-failed run exited %d, want 3\n%s", code, errb)
+	}
+	if !strings.Contains(errb, "QUARANTINED") {
+		t.Fatalf("stderr lacks per-source accounting:\n%s", errb)
+	}
+}
+
+func TestExitCodeAllSpecLoadsFailed(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"torn.json": `{"app":`})
+	spec := filepath.Join(dir, "s.cpl")
+	src := "load 'json' '" + filepath.Join(dir, "torn.json") + "'\n$app.timeout -> int\n"
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errb := runCvcheck(t, "-spec", spec); code != 3 {
+		t.Fatalf("spec-load-failed run exited %d, want 3\n%s", code, errb)
+	}
+}
+
+// One quarantined source out of two degrades the round but does not
+// change the exit code: the surviving data still validates.
+func TestExitCodeDegradedStillValidates(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"s.cpl":     "$app.timeout -> int & [1, 60]\n",
+		"good.kv":   "app.timeout = 30\n",
+		"torn.json": `{"db":`,
+	})
+	code, _, errb := runCvcheck(t,
+		"-spec", filepath.Join(dir, "s.cpl"),
+		"-data", "kv:"+filepath.Join(dir, "good.kv"),
+		"-data", "json:"+filepath.Join(dir, "torn.json"))
+	if code != 0 {
+		t.Fatalf("degraded-but-nonempty run exited %d, want 0\n%s", code, errb)
+	}
+	if !strings.Contains(errb, "QUARANTINED") {
+		t.Fatalf("degradation not surfaced on stderr:\n%s", errb)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe to poll while run() writes to it
+// from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// A watch session keeps validating against the last good parse when a
+// data file is torn mid-write, and surfaces the staleness on stderr.
+func TestWatchServesStaleAcrossRounds(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"s.cpl":  "$app.timeout -> int & [1, 60]\n",
+		"d.json": `{"app": {"timeout": "30"}}`,
+	})
+	spec, data := filepath.Join(dir, "s.cpl"), filepath.Join(dir, "d.json")
+
+	var out bytes.Buffer
+	var errb syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-spec", spec, "-data", "json:" + data, "-watch", "5ms", "-watch-rounds", "2"}, &out, &errb)
+	}()
+
+	// Wait for round 1 to record the good parse before tearing the file.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(errb.String(), "loaded 1 instance(s)") {
+		if time.Now().After(deadline) {
+			t.Fatalf("round 1 never loaded the good file:\n%s", errb.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := os.WriteFile(data, []byte(`{"app":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("stale-served watch run exited %d, want 0\n%s", code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "STALE") {
+			t.Fatalf("staleness not surfaced on stderr:\n%s", errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch run did not complete two rounds")
+	}
+}

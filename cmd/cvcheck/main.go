@@ -6,7 +6,7 @@
 //
 //	cvcheck -spec checks.cpl [-data xml:/path/settings.xml[:Scope]]...
 //	        [-parallel N] [-stop] [-json] [-watch 2s] [-interpret]
-//	        [-no-incremental]
+//	        [-no-incremental] [-load-timeout 5s] [-max-stale N]
 //
 // Data sources may also come from load commands inside the specification
 // file. With -watch, cvcheck revalidates whenever the specification or a
@@ -15,18 +15,38 @@
 // footprint overlaps the keys changed since the last round re-run
 // (-no-incremental restores full revalidation). With both -watch and
 // -json, each round prints one compact JSON report object to stdout;
-// human-oriented text goes to stderr. The exit status is 0 when
-// validation passes, 1 on violations, and 2 on usage or compilation
-// errors.
+// human-oriented text goes to stderr.
+//
+// Loading is fault tolerant: a malformed or unreadable source is
+// quarantined (and, across watch rounds, served from its last good parse
+// for up to -max-stale rounds; 0 = forever, negative = never) instead of
+// aborting the round, with per-source accounting on stderr. -load-timeout
+// bounds each round; the deadline — or Ctrl-C — stops the round
+// mid-flight with a partial report marked as interrupted.
+//
+// Exit status:
+//
+//	0  validation ran and found no violations
+//	1  validation ran and found violations (or spec errors)
+//	2  usage, specification or compilation error
+//	3  every configuration source failed to load — nothing was validated
+//
+// A degraded round that still has data (some sources fresh or stale)
+// validates normally and exits 0 or 1; only a round with nothing at all
+// to validate exits 3.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"confvalley"
@@ -41,28 +61,52 @@ func (d *dataFlags) Set(s string) error {
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cvcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		specPath = flag.String("spec", "", "CPL specification file (required)")
-		parallel = flag.Int("parallel", 1, "validate specifications in N parallel partitions")
-		stop     = flag.Bool("stop", false, "stop at the first violation")
-		asJSON   = flag.Bool("json", false, "emit the report as JSON")
-		watch    = flag.Duration("watch", 0, "revalidate at this interval when spec or data files change (0 = run once)")
-		interp   = flag.Bool("interpret", false, "execute via the AST interpreter instead of lowered plans")
-		rounds   = flag.Int("watch-rounds", 0, "with -watch, exit after this many validation rounds (0 = forever; for tests)")
-		noInc    = flag.Bool("no-incremental", false, "with -watch, fully revalidate every round instead of re-running only the specs affected by changed keys")
-		data     dataFlags
+		specPath    = fs.String("spec", "", "CPL specification file (required)")
+		parallel    = fs.Int("parallel", 1, "validate specifications in N parallel partitions")
+		stop        = fs.Bool("stop", false, "stop at the first violation")
+		asJSON      = fs.Bool("json", false, "emit the report as JSON")
+		watch       = fs.Duration("watch", 0, "revalidate at this interval when spec or data files change (0 = run once)")
+		interp      = fs.Bool("interpret", false, "execute via the AST interpreter instead of lowered plans")
+		rounds      = fs.Int("watch-rounds", 0, "with -watch, exit after this many validation rounds (0 = forever; for tests)")
+		noInc       = fs.Bool("no-incremental", false, "with -watch, fully revalidate every round instead of re-running only the specs affected by changed keys")
+		loadTimeout = fs.Duration("load-timeout", 0, "bound each validation round (loading plus validation); 0 = no bound")
+		maxStale    = fs.Int("max-stale", 0, "serve a failing source from its last good parse for at most N watch rounds (0 = forever, negative = never)")
+		data        dataFlags
 	)
-	flag.Var(&data, "data", "configuration source as format:path[:scope]; repeatable")
-	flag.Parse()
-	if *specPath == "" {
-		fmt.Fprintln(os.Stderr, "cvcheck: -spec is required")
-		flag.Usage()
+	fs.Var(&data, "data", "configuration source as format:path[:scope]; repeatable")
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *specPath == "" {
+		fmt.Fprintln(stderr, "cvcheck: -spec is required")
+		fs.Usage()
+		return 2
+	}
+
+	// -data arguments are validated up front: a malformed flag is a usage
+	// error (exit 2), unlike a source that later fails to load.
+	var dataSources []confvalley.Source
+	for _, d := range data {
+		format, path, scope, err := splitDataArg(d)
+		if err != nil {
+			fmt.Fprintf(stderr, "cvcheck: %v\n", err)
+			return 2
+		}
+		dataSources = append(dataSources, confvalley.Source{Name: path, Format: format, Scope: scope})
+	}
+
+	// Ctrl-C / SIGTERM cancels the run: loading stops between sources and
+	// validation between specifications, and the partial report — clearly
+	// marked as interrupted — is still rendered.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	// The session persists across watch rounds. Rounds where only data
 	// changed reuse the compiled program, so the executable-plan cache
@@ -75,11 +119,16 @@ func run() int {
 	// Each round loads the data files into a *fresh* store built off to
 	// the side and swaps it in atomically: a validation still in flight
 	// pinned the old store's snapshot and finishes against it, instead of
-	// racing a reload mutating the store underneath it.
+	// racing a reload mutating the store underneath it. The graceful-
+	// degradation loader persists alongside the session, retaining each
+	// source's last good parse so a source torn mid-write in round N
+	// serves round N-1's data.
 	s := confvalley.NewSession()
 	s.Parallel = *parallel
 	s.StopOnFirst = *stop
 	s.Interpret = *interp
+	s.Degrade = true
+	s.MaxStale = *maxStale
 	// Watch rounds revalidate a mostly-unchanged corpus, so incremental
 	// mode is the default there: each round diffs the fresh store's
 	// snapshot against the previous round's and re-runs only the specs
@@ -87,48 +136,56 @@ func run() int {
 	s.Incremental = *watch > 0 && !*noInc
 	s.SpecDir = filepath.Dir(*specPath)
 	s.SetEnv(confvalley.HostEnv())
+	loader := confvalley.NewLoader(*maxStale)
 
 	var (
 		lastSrc  string
 		lastProg *confvalley.Program
 	)
-	validateOnce := func() int {
-		st := confvalley.NewStore()
-		for _, d := range data {
-			format, path, scope, err := splitDataArg(d)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
-				return 2
-			}
-			n, err := confvalley.LoadFileInto(st, format, path, scope)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
-				return 2
-			}
-			fmt.Fprintf(os.Stderr, "cvcheck: loaded %d instance(s) from %s\n", n, path)
+	validateOnce := func(ctx context.Context) int {
+		if *loadTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *loadTimeout)
+			defer cancel()
 		}
+		st := confvalley.NewStore()
+		dataRep := loader.Load(ctx, st, dataSources)
+		for _, o := range dataRep.Outcomes {
+			if o.Err == "" {
+				fmt.Fprintf(stderr, "cvcheck: loaded %d instance(s) from %s\n", o.Instances, o.Source)
+			}
+		}
+		dataRep.Render(stderr)
 		s.SwapStore(st)
 
 		src, err := os.ReadFile(*specPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+			fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 			return 2
 		}
 		if lastProg == nil || string(src) != lastSrc {
 			prog, err := s.Compile(string(src))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+				fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 				return 2
 			}
 			lastSrc, lastProg = string(src), prog
 		}
-		rep, err := s.ValidateProgram(lastProg)
+		rep, err := s.ValidateProgramContext(ctx, lastProg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+			fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 			return 2
 		}
+		// Fold the spec file's own load commands into the per-round source
+		// accounting.
+		total, quarantined := len(dataRep.Outcomes), dataRep.Quarantined()
+		if lr := s.LastLoadReport(); lr != nil && len(lastProg.Loads) > 0 {
+			lr.Render(stderr)
+			total += len(lr.Outcomes)
+			quarantined += lr.Quarantined()
+		}
 		if s.Incremental {
-			fmt.Fprintf(os.Stderr, "cvcheck: re-ran %d/%d specs (%d reused)\n",
+			fmt.Fprintf(stderr, "cvcheck: re-ran %d/%d specs (%d reused)\n",
 				rep.SpecsRun-rep.SpecsReused, rep.SpecsRun, rep.SpecsReused)
 		}
 		switch {
@@ -139,22 +196,26 @@ func run() int {
 			// stderr.
 			b, err := json.Marshal(rep)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+				fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 				return 2
 			}
-			fmt.Println(string(b))
+			fmt.Fprintln(stdout, string(b))
 		case *asJSON:
 			b, err := rep.JSON()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+				fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 				return 2
 			}
-			fmt.Println(string(b))
+			fmt.Fprintln(stdout, string(b))
 		default:
-			if err := rep.Render(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "cvcheck: %v\n", err)
+			if err := rep.Render(stdout); err != nil {
+				fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 				return 2
 			}
+		}
+		if total > 0 && quarantined == total {
+			fmt.Fprintf(stderr, "cvcheck: every configuration source failed to load; nothing was validated\n")
+			return 3
 		}
 		if rep.Passed() {
 			return 0
@@ -163,16 +224,17 @@ func run() int {
 	}
 
 	if *watch <= 0 {
-		return validateOnce()
+		return validateOnce(ctx)
 	}
-	return watchLoop(*specPath, data, *watch, *rounds, validateOnce)
+	return watchLoop(ctx, *specPath, data, *watch, *rounds, validateOnce)
 }
 
 // watchLoop revalidates whenever the specification file or any data file
 // changes, polling modification times at the given interval. maxRounds
 // bounds the number of validation rounds (0 = unbounded); the exit code
-// is the last round's.
-func watchLoop(specPath string, data []string, interval time.Duration, maxRounds int, validate func() int) int {
+// is the last round's. Context cancellation (Ctrl-C) ends the loop after
+// the in-flight round, returning its code.
+func watchLoop(ctx context.Context, specPath string, data []string, interval time.Duration, maxRounds int, validate func(context.Context) int) int {
 	files := []string{specPath}
 	for _, d := range data {
 		if _, path, _, err := splitDataArg(d); err == nil {
@@ -199,12 +261,16 @@ func watchLoop(specPath string, data []string, interval time.Duration, maxRounds
 			last = now
 			round++
 			fmt.Fprintf(os.Stderr, "cvcheck: validation round %d\n", round)
-			code = validate()
+			code = validate(ctx)
 			if maxRounds > 0 && round >= maxRounds {
 				return code
 			}
 		}
-		time.Sleep(interval)
+		select {
+		case <-ctx.Done():
+			return code
+		case <-time.After(interval):
+		}
 	}
 }
 

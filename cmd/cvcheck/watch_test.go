@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -21,7 +22,7 @@ func TestWatchLoopRevalidatesOnChange(t *testing.T) {
 	var runs atomic.Int32
 	done := make(chan int, 1)
 	go func() {
-		done <- watchLoop(spec, []string{"kv:" + data}, 5*time.Millisecond, 2, func() int {
+		done <- watchLoop(context.Background(), spec, []string{"kv:" + data}, 5*time.Millisecond, 2, func(context.Context) int {
 			runs.Add(1)
 			return 0
 		})
@@ -59,12 +60,39 @@ func TestWatchLoopStableFilesRunOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	var runs atomic.Int32
-	go watchLoop(spec, nil, 2*time.Millisecond, 0, func() int {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go watchLoop(ctx, spec, nil, 2*time.Millisecond, 0, func(context.Context) int {
 		runs.Add(1)
 		return 0
 	})
 	time.Sleep(60 * time.Millisecond)
 	if got := runs.Load(); got != 1 {
 		t.Errorf("unchanged files revalidated %d times, want 1", got)
+	}
+}
+
+// Context cancellation ends an unbounded watch loop, returning the last
+// round's exit code.
+func TestWatchLoopStopsOnCancel(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "s.cpl")
+	if err := os.WriteFile(spec, []byte("$A -> int"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() {
+		done <- watchLoop(ctx, spec, nil, time.Millisecond, 0, func(context.Context) int { return 1 })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case code := <-done:
+		if code != 1 {
+			t.Errorf("exit code after cancel = %d, want the last round's 1", code)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled watch loop did not return")
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"confvalley/internal/compiler"
 	"confvalley/internal/config"
 	"confvalley/internal/infer"
+	"confvalley/internal/ingest"
 	"confvalley/internal/plan"
 	"confvalley/internal/predicate"
 	"confvalley/internal/report"
@@ -70,6 +71,17 @@ type (
 	Env = simenv.Env
 	// SimEnv is a fully simulated Env.
 	SimEnv = simenv.Sim
+	// Source describes one configuration source for graceful-degradation
+	// loading (file path, REST endpoint, or custom fetch).
+	Source = ingest.Source
+	// SourceOutcome is one source's per-round load result.
+	SourceOutcome = ingest.Outcome
+	// LoadReport aggregates a load round's per-source outcomes:
+	// fresh/stale/quarantined accounting for degraded ingestion.
+	LoadReport = ingest.LoadReport
+	// Loader loads source batches with graceful degradation, retaining
+	// each source's last good parse across validation rounds.
+	Loader = ingest.Loader
 )
 
 // Severity levels for validation policies.
@@ -104,6 +116,12 @@ func ParsePattern(s string) (Pattern, error) { return config.ParsePattern(s) }
 // NewSession build one; watch-style callers construct stores off to the
 // side, fill them with LoadFileInto, and Session.SwapStore them in.
 func NewStore() *Store { return config.NewStore() }
+
+// NewLoader returns a graceful-degradation loader. maxStale bounds how
+// many consecutive rounds a failing source is served from its last good
+// parse before it degrades to quarantined (0 = forever, negative =
+// never serve stale).
+func NewLoader(maxStale int) *Loader { return ingest.NewLoader(maxStale) }
 
 // PlanCacheStats reports cumulative hits and misses of the executable
 // plan cache. A program validated repeatedly (watch mode, benchmarks,

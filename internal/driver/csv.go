@@ -5,7 +5,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"strings"
-	"sync"
 
 	"confvalley/internal/config"
 )
@@ -66,47 +65,4 @@ func (csvDriver) Parse(data []byte, sourceName string) ([]*config.Instance, erro
 		}
 	}
 	return out, nil
-}
-
-// restDriver simulates loading configuration from a REST endpoint, the
-// "runtime information"-style source in the paper's Listing 5
-// ("load 'runninginstance' '10.119.64.74:443'"). Real deployments would
-// issue an HTTP GET; for hermetic operation the driver serves JSON
-// documents registered against endpoint URLs in an in-process registry.
-type restDriver struct{}
-
-var (
-	restMu        sync.RWMutex
-	restEndpoints = make(map[string][]byte)
-)
-
-// RegisterEndpoint installs a JSON document for a simulated REST endpoint.
-func RegisterEndpoint(url string, jsonDoc []byte) {
-	restMu.Lock()
-	defer restMu.Unlock()
-	restEndpoints[url] = jsonDoc
-}
-
-// ClearEndpoints removes all simulated endpoints (test hygiene).
-func ClearEndpoints() {
-	restMu.Lock()
-	defer restMu.Unlock()
-	restEndpoints = make(map[string][]byte)
-}
-
-func init() { Register(restDriver{}) }
-
-func (restDriver) Name() string { return "rest" }
-
-// Parse treats data as the endpoint URL, fetches the registered document
-// and delegates to the JSON driver.
-func (restDriver) Parse(data []byte, sourceName string) ([]*config.Instance, error) {
-	url := strings.TrimSpace(string(data))
-	restMu.RLock()
-	doc, ok := restEndpoints[url]
-	restMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("rest: endpoint %q not reachable (no registered document)", url)
-	}
-	return jsonDriver{}.Parse(doc, url)
 }

@@ -6,6 +6,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,6 +21,22 @@ type Driver interface {
 	// Parse converts raw source bytes into instances. sourceName is kept
 	// as provenance on every instance.
 	Parse(data []byte, sourceName string) ([]*config.Instance, error)
+}
+
+// ContextDriver is implemented by drivers whose parsing involves I/O that
+// must honor deadlines and cancellation (the rest driver's fetch).
+// Context-aware loaders probe for it and fall back to plain Parse.
+type ContextDriver interface {
+	Driver
+	ParseContext(ctx context.Context, data []byte, sourceName string) ([]*config.Instance, error)
+}
+
+// ParseWith dispatches to ParseContext when the driver supports it.
+func ParseWith(ctx context.Context, d Driver, data []byte, sourceName string) ([]*config.Instance, error) {
+	if cd, ok := d.(ContextDriver); ok {
+		return cd.ParseContext(ctx, data, sourceName)
+	}
+	return d.Parse(data, sourceName)
 }
 
 var (
@@ -66,18 +83,31 @@ func Names() []string {
 // store, optionally prefixing every key with scope segments (the CPL
 // "load ... as Scope" form: §4.2.2 way #3 of attaching scope information).
 func LoadInto(st *config.Store, format string, data []byte, sourceName, scope string) (int, error) {
-	d, err := Lookup(format)
+	ins, err := ParseScoped(context.Background(), format, data, sourceName, scope)
 	if err != nil {
 		return 0, err
 	}
-	ins, err := d.Parse(data, sourceName)
+	st.AddAll(ins)
+	return len(ins), nil
+}
+
+// ParseScoped parses data with the named driver under ctx and applies the
+// scope prefix, returning the instances without adding them to any store.
+// Graceful-degradation loaders use it so a parse failure can be
+// quarantined per source instead of aborting a whole load batch.
+func ParseScoped(ctx context.Context, format string, data []byte, sourceName, scope string) ([]*config.Instance, error) {
+	d, err := Lookup(format)
 	if err != nil {
-		return 0, fmt.Errorf("driver %s: parsing %s: %w", format, sourceName, err)
+		return nil, err
+	}
+	ins, err := ParseWith(ctx, d, data, sourceName)
+	if err != nil {
+		return nil, fmt.Errorf("driver %s: parsing %s: %w", format, sourceName, err)
 	}
 	if scope != "" {
 		pre, err := scopeSegs(scope)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		for _, in := range ins {
 			segs := make([]config.Seg, 0, len(pre)+len(in.Key.Segs))
@@ -86,8 +116,7 @@ func LoadInto(st *config.Store, format string, data []byte, sourceName, scope st
 			in.Key = config.Key{Segs: segs}
 		}
 	}
-	st.AddAll(ins)
-	return len(ins), nil
+	return ins, nil
 }
 
 // scopeSegs parses a dotted scope prefix like "Fabric" or "Fabric::inst1".
@@ -100,6 +129,11 @@ func scopeSegs(scope string) ([]config.Seg, error) {
 	for i, ps := range p.Segs {
 		if ps.InstVar != "" || ps.IndexVar != "" {
 			return nil, fmt.Errorf("driver: scope %q must not contain variables", scope)
+		}
+		if ps.Name == "" {
+			// A pattern like "$" parses, but an empty segment name would
+			// produce an unaddressable instance.
+			return nil, fmt.Errorf("driver: scope %q has an empty segment", scope)
 		}
 		segs[i] = config.Seg{Name: ps.Name, Inst: ps.Inst, Index: ps.Index}
 	}

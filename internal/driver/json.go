@@ -41,6 +41,9 @@ func walkJSON(v interface{}, stack []config.Seg, src string, out *[]*config.Inst
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
+			if k == "" {
+				return fmt.Errorf("json: %s: empty member name", src)
+			}
 			child := t[k]
 			switch c := child.(type) {
 			case map[string]interface{}:

@@ -10,7 +10,7 @@ import (
 // ("Driver code to convert different types of configuration data into a
 // unified representation").
 //
-//go:embed xml.go ini.go json.go yaml.go csv.go
+//go:embed xml.go ini.go json.go yaml.go csv.go rest.go
 var sources embed.FS
 
 // locOf counts non-blank, non-comment lines in an embedded source file,
@@ -32,8 +32,7 @@ func locOf(file string) int {
 }
 
 // sectionLoC counts the lines of the named top-level declaration blocks —
-// ini.go and csv.go each hold two drivers, so per-format sizes split on
-// type boundaries.
+// ini.go holds two drivers, so per-format sizes split on type boundaries.
 func sectionLoC(file, typeName string) int {
 	b, err := sources.ReadFile(file)
 	if err != nil {
@@ -69,7 +68,7 @@ func LoCByFormat() map[string]int {
 		"kv":                     sectionLoC("ini.go", "kvDriver"),
 		"json":                   locOf("json.go"),
 		"yaml":                   locOf("yaml.go"),
-		"csv":                    sectionLoC("csv.go", "csvDriver"),
-		"rest":                   sectionLoC("csv.go", "restDriver"),
+		"csv":                    locOf("csv.go"),
+		"rest":                   locOf("rest.go"),
 	}
 }

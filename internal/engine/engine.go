@@ -22,6 +22,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -70,6 +71,9 @@ type Engine struct {
 	// it — reads one consistent, lock-free view even if the store is
 	// mutated concurrently (watch-round swaps, live loads).
 	snap *config.Snapshot
+	// ctx carries the current run's deadline/cancellation; nil outside a
+	// RunContext call.
+	ctx context.Context
 }
 
 // New returns an engine over a store with a simulated environment.
@@ -82,9 +86,20 @@ func New(st *config.Store) *Engine {
 // (cached per program; see internal/plan) and the plan is executed;
 // Opts.Interpret selects the original AST-walking evaluation instead.
 func (e *Engine) Run(prog *compiler.Program) *report.Report {
+	return e.RunContext(context.Background(), prog)
+}
+
+// RunContext is Run under a caller-supplied context: a deadline or
+// cancellation stops the run between specifications (and, on the plan
+// path, between domains and compartment groups inside one), returning
+// the partial report marked Interrupted. All worker goroutines of a
+// parallel run observe the same context and drain before RunContext
+// returns — cancellation never leaks a goroutine.
+func (e *Engine) RunContext(ctx context.Context, prog *compiler.Program) *report.Report {
 	if prog.Policies["on_violation"] == "stop" {
 		e.Opts.StopOnFirst = true
 	}
+	e.ctx = ctx
 	e.snap = e.Store.Snapshot()
 	start := time.Now()
 	if e.Opts.Parallel > 1 {
@@ -95,8 +110,12 @@ func (e *Engine) Run(prog *compiler.Program) *report.Report {
 	rep := &report.Report{}
 	if e.Opts.Interpret {
 		for i, spec := range prog.Specs {
+			if ctx.Err() != nil {
+				rep.Interrupted = true
+				break
+			}
 			e.runSpec(prog, spec, i, rep)
-			if rep.Stopped {
+			if rep.Stopped || rep.Interrupted {
 				break
 			}
 		}
@@ -116,7 +135,17 @@ func (e *Engine) runtime() *plan.Runtime {
 		Env:            e.Env,
 		NaiveDiscovery: e.Opts.NaiveDiscovery,
 		StopOnFirst:    e.Opts.StopOnFirst,
+		Ctx:            e.context(),
 	}
+}
+
+// context returns the run's context, defaulting to Background for
+// callers that evaluate without going through RunContext.
+func (e *Engine) context() context.Context {
+	if e.ctx != nil {
+		return e.ctx
+	}
+	return context.Background()
 }
 
 // snapshot returns the run-pinned snapshot, falling back to the store's
@@ -140,13 +169,20 @@ func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
 	var runPart func(idxs []int, rep *report.Report)
 	if e.Opts.Interpret {
 		runPart = func(idxs []int, rep *report.Report) {
-			sub := &Engine{Store: e.Store, Env: e.Env, snap: e.snapshot(), Opts: Options{
+			sub := &Engine{Store: e.Store, Env: e.Env, snap: e.snapshot(), ctx: e.ctx, Opts: Options{
 				NaiveDiscovery: e.Opts.NaiveDiscovery,
 				StopOnFirst:    e.Opts.StopOnFirst,
 				Interpret:      true,
 			}}
 			for _, j := range idxs {
+				if sub.context().Err() != nil {
+					rep.Interrupted = true
+					return
+				}
 				sub.runSpec(prog, prog.Specs[j], j, rep)
+				if rep.Interrupted {
+					return
+				}
 			}
 		}
 	} else {
@@ -154,7 +190,14 @@ func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
 		rt := e.runtime() // read-only during execution; safe to share
 		runPart = func(idxs []int, rep *report.Report) {
 			for _, j := range idxs {
+				if rt.Canceled() {
+					rep.Interrupted = true
+					return
+				}
 				p.Specs[j].Run(rt, rep)
+				if rep.Interrupted {
+					return
+				}
 			}
 		}
 	}
@@ -239,13 +282,31 @@ func (c *evalCtx) clone() *evalCtx {
 	return &d
 }
 
-// runSpec evaluates one specification, appending violations to rep.
+// runSpec evaluates one specification, appending violations to rep. A
+// panic under the spec — a plug-in predicate or transformation blowing
+// up — is contained to a spec-level error with the spec's partial
+// violations rolled back, mirroring the plan executor's containment so
+// the two paths stay report-identical.
 func (e *Engine) runSpec(prog *compiler.Program, spec *compiler.Spec, seq int, rep *report.Report) {
 	rep.SpecsRun++
 	ctx := &evalCtx{eng: e, prog: prog, spec: spec, seq: seq, env: map[string]string{}, quant: ast.QuantAll}
 	before := len(rep.Violations)
 	instBefore := rep.InstancesChecked
-	if err := e.runConds(ctx, spec, 0, rep); err != nil {
+	panicked := false
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		return e.runConds(ctx, spec, 0, rep)
+	}()
+	if err != nil {
+		if panicked {
+			rep.Violations = rep.Violations[:before]
+			rep.InstancesChecked = instBefore
+		}
 		rep.AddSpecError(seq, fmt.Sprintf("%s: %v", spec.Text, err))
 		rep.NoteSpec(seq, report.SpecOutcome{Instances: rep.InstancesChecked - instBefore, Errored: true})
 		return

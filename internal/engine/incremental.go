@@ -16,6 +16,7 @@ package engine
 // that mutate the environment between rounds must fall back to Run.
 
 import (
+	"context"
 	"time"
 
 	"confvalley/internal/compiler"
@@ -37,26 +38,40 @@ func (e *Engine) PinnedSnapshot() *config.Snapshot { return e.snap }
 // policy (a truncated run has no complete verdict set to splice from,
 // and its stop point depends on global execution order).
 func (e *Engine) RunIncremental(prog *compiler.Program, prevSnap *config.Snapshot, prevRep *report.Report) *report.Report {
+	return e.RunIncrementalContext(context.Background(), prog, prevSnap, prevRep)
+}
+
+// RunIncrementalContext is RunIncremental under a caller-supplied
+// context. An interrupted previous report is never spliced from (its
+// verdict set is incomplete), and an interrupted re-run subset yields a
+// partial report marked Interrupted without splicing — a partial splice
+// would claim reuse it cannot justify.
+func (e *Engine) RunIncrementalContext(ctx context.Context, prog *compiler.Program, prevSnap *config.Snapshot, prevRep *report.Report) *report.Report {
 	if prog.Policies["on_violation"] == "stop" {
 		e.Opts.StopOnFirst = true
 	}
-	if prevSnap == nil || prevRep == nil || prevRep.Stopped || !prevRep.Tagged() ||
-		e.Opts.Interpret || e.Opts.StopOnFirst {
-		return e.Run(prog)
+	if prevSnap == nil || prevRep == nil || prevRep.Stopped || prevRep.Interrupted ||
+		!prevRep.Tagged() || e.Opts.Interpret || e.Opts.StopOnFirst {
+		return e.RunContext(ctx, prog)
 	}
 	start := time.Now()
+	e.ctx = ctx
 	e.snap = e.Store.Snapshot()
 	p := plan.For(prog)
 	delta := e.snap.Diff(prevSnap)
 
 	// Partition via the footprint index: a spec re-runs when it is
-	// dynamic, when any changed key matches its footprint, or when the
-	// previous report holds no verdict for it.
+	// dynamic, when any changed key matches its footprint, when the
+	// previous report holds no verdict for it, or when its previous
+	// verdict was an error. Errored verdicts are never reused: a spec can
+	// error transiently (a panicking plug-in, an injected fault, a
+	// resource blip) with no configuration delta to trigger a re-run, and
+	// caching the error would pin it forever.
 	rerun := make([]int, 0, len(p.Specs))
 	isRerun := make([]bool, len(p.Specs))
 	for i, n := range p.Specs {
 		fp := n.Footprint()
-		if _, cached := prevRep.Outcome(i); !cached || fp.Dynamic || delta.OverlapsAny(fp.Patterns) {
+		if o, cached := prevRep.Outcome(i); !cached || o.Errored || fp.Dynamic || delta.OverlapsAny(fp.Patterns) {
 			rerun = append(rerun, i)
 			isRerun[i] = true
 		}
@@ -69,6 +84,13 @@ func (e *Engine) RunIncremental(prog *compiler.Program, prevSnap *config.Snapsho
 	}
 
 	fresh := e.runSubset(p, rerun)
+	if fresh.Interrupted {
+		// The re-run subset was cut off: return it as-is, partial and
+		// marked. No splicing — a spliced report must account for every
+		// spec, and an interrupted subset cannot.
+		fresh.Duration = time.Since(start)
+		return fresh
+	}
 
 	// Splice: walk specs in execution order, taking each one's verdicts
 	// from the fresh run or the previous report. Violations and spec
@@ -113,7 +135,14 @@ func (e *Engine) runSubset(p *plan.Plan, idxs []int) *report.Report {
 		}
 		reps := runParts(parts, func(idxs []int, sub *report.Report) {
 			for _, j := range idxs {
+				if rt.Canceled() {
+					sub.Interrupted = true
+					return
+				}
 				p.Specs[j].Run(rt, sub)
+				if sub.Interrupted {
+					return
+				}
 			}
 		})
 		for _, r := range reps {
@@ -122,7 +151,14 @@ func (e *Engine) runSubset(p *plan.Plan, idxs []int) *report.Report {
 		return rep
 	}
 	for _, j := range idxs {
+		if rt.Canceled() {
+			rep.Interrupted = true
+			break
+		}
 		p.Specs[j].Run(rt, rep)
+		if rep.Interrupted {
+			break
+		}
 	}
 	return rep
 }

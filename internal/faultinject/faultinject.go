@@ -1,0 +1,201 @@
+// Package faultinject is the test-only fault harness behind the chaos
+// suite: deterministic, schedulable failures injected at the ingestion
+// boundary so the graceful-degradation machinery (internal/ingest), the
+// retry policy (internal/driver rest) and the per-spec panic isolation
+// can be exercised under -race across many watch rounds.
+//
+// Everything is deterministic. Schedules draw from a seeded PRNG under a
+// mutex; panic-on-Nth wrappers count calls exactly. The package has no
+// dependencies on the rest of the framework — it wraps the plain
+// fetch/reader shapes the ingest layer consumes — so production code
+// never imports it.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every error this package fabricates;
+// errors.Is(err, ErrInjected) distinguishes injected failures from real
+// ones in test assertions.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Fetch is the fetcher shape the ingest layer consumes
+// (ingest.Source.Fetch).
+type Fetch func(ctx context.Context) ([]byte, error)
+
+// Fault kinds a Schedule can select for a call.
+const (
+	faultNone = iota
+	faultError
+	faultTorn
+	faultPanic
+)
+
+// Schedule decides, per call, whether to let a fetch through, fail it,
+// tear its result, or panic — with configurable rates and deterministic
+// draws from a seeded PRNG. The zero value injects nothing; it is safe
+// for concurrent use.
+type Schedule struct {
+	// ErrorRate is the probability a call fails outright with ErrInjected.
+	ErrorRate float64
+	// TornRate is the probability a call returns only a prefix of the real
+	// bytes — a read racing a writer mid-write.
+	TornRate float64
+	// Latency delays every call before the fault decision; a canceled
+	// context during the delay returns ctx.Err().
+	Latency time.Duration
+	// PanicEvery panics on every Nth call (1-based); 0 disables panics.
+	// Panic decisions take priority over the random rates so tests can
+	// target an exact call.
+	PanicEvery int
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	calls  int
+	errs   int
+	torn   int
+	panics int
+}
+
+// NewSchedule returns a Schedule drawing from the given seed. Configure
+// the rate fields before handing the schedule to concurrent users.
+func NewSchedule(seed int64) *Schedule {
+	return &Schedule{rng: rand.New(rand.NewSource(seed))}
+}
+
+// roll draws the fault for one call and updates the counters.
+func (s *Schedule) roll() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if s.PanicEvery > 0 && s.calls%s.PanicEvery == 0 {
+		s.panics++
+		return faultPanic
+	}
+	if s.ErrorRate <= 0 && s.TornRate <= 0 {
+		return faultNone
+	}
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(1))
+	}
+	switch r := s.rng.Float64(); {
+	case r < s.ErrorRate:
+		s.errs++
+		return faultError
+	case r < s.ErrorRate+s.TornRate:
+		s.torn++
+		return faultTorn
+	}
+	return faultNone
+}
+
+// Stats returns how many calls the schedule has seen and how many of
+// each fault kind it injected.
+func (s *Schedule) Stats() (calls, errs, torn, panics int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls, s.errs, s.torn, s.panics
+}
+
+// Wrap returns fetch with the schedule's faults injected in front of it:
+// latency first, then per-call error/torn-read/panic decisions. Torn
+// reads run the real fetch and truncate its bytes to half, modeling a
+// reader racing a writer.
+func (s *Schedule) Wrap(fetch Fetch) Fetch {
+	return func(ctx context.Context) ([]byte, error) {
+		if s.Latency > 0 {
+			t := time.NewTimer(s.Latency)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		switch s.roll() {
+		case faultError:
+			return nil, fmt.Errorf("%w: transport error", ErrInjected)
+		case faultPanic:
+			panic("faultinject: scheduled panic")
+		case faultTorn:
+			data, err := fetch(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return data[:len(data)/2], nil
+		}
+		return fetch(ctx)
+	}
+}
+
+// Torn truncates data to its first half — the canonical torn-write
+// payload for tests that fabricate one directly.
+func Torn(data []byte) []byte { return data[:len(data)/2] }
+
+// FlakyReader wraps r to fail with ErrInjected after n bytes have been
+// read — an io-level torn read for code paths that stream rather than
+// slurp.
+func FlakyReader(r io.Reader, n int) io.Reader { return &flakyReader{r: r, left: n} }
+
+type flakyReader struct {
+	r    io.Reader
+	left int
+}
+
+func (f *flakyReader) Read(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, fmt.Errorf("%w: torn read", ErrInjected)
+	}
+	if len(p) > f.left {
+		p = p[:f.left]
+	}
+	n, err := f.r.Read(p)
+	f.left -= n
+	if err == io.EOF {
+		return n, err
+	}
+	return n, err
+}
+
+// PanicOnNth returns a hook that panics with msg on exactly the nth call
+// (1-based) and is a no-op on every other call. Safe for concurrent use;
+// tests thread it into plug-in predicates to stage a panic at a known
+// point in a validation round.
+func PanicOnNth(n int, msg string) func() {
+	var mu sync.Mutex
+	calls := 0
+	return func() {
+		mu.Lock()
+		calls++
+		hit := calls == n
+		mu.Unlock()
+		if hit {
+			panic(msg)
+		}
+	}
+}
+
+// CancelAfter returns a fetch wrapper that cancels the supplied cancel
+// func after the kth call (1-based) before delegating — staging a
+// mid-batch Ctrl-C at a deterministic point.
+func CancelAfter(k int, cancel context.CancelFunc, fetch Fetch) Fetch {
+	var mu sync.Mutex
+	calls := 0
+	return func(ctx context.Context) ([]byte, error) {
+		mu.Lock()
+		calls++
+		hit := calls == k
+		mu.Unlock()
+		if hit {
+			cancel()
+		}
+		return fetch(ctx)
+	}
+}

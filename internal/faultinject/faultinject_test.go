@@ -1,0 +1,140 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okFetch(data []byte) Fetch {
+	return func(context.Context) ([]byte, error) { return data, nil }
+}
+
+// A schedule with rates draws deterministically from its seed: the same
+// seed produces the same fault sequence, and the counters account for
+// every call.
+func TestScheduleDeterministic(t *testing.T) {
+	run := func() (string, int, int, int) {
+		s := NewSchedule(7)
+		s.ErrorRate, s.TornRate = 0.3, 0.2
+		f := s.Wrap(okFetch([]byte("0123456789")))
+		var trace strings.Builder
+		for i := 0; i < 200; i++ {
+			data, err := f(context.Background())
+			switch {
+			case err != nil:
+				trace.WriteByte('E')
+			case len(data) == 5:
+				trace.WriteByte('T')
+			default:
+				trace.WriteByte('.')
+			}
+		}
+		calls, errs, torn, _ := s.Stats()
+		return trace.String(), calls, errs, torn
+	}
+	t1, calls, errs, torn := run()
+	t2, _, _, _ := run()
+	if t1 != t2 {
+		t.Fatalf("same seed produced different fault sequences")
+	}
+	if calls != 200 {
+		t.Fatalf("calls = %d, want 200", calls)
+	}
+	if got := strings.Count(t1, "E"); got != errs {
+		t.Fatalf("trace has %d errors, counters say %d", got, errs)
+	}
+	if got := strings.Count(t1, "T"); got != torn {
+		t.Fatalf("trace has %d torn reads, counters say %d", got, torn)
+	}
+	if errs == 0 || torn == 0 {
+		t.Fatalf("200 draws at 30%%/20%% injected no faults (errs=%d torn=%d)", errs, torn)
+	}
+}
+
+func TestScheduleInjectedErrorsAreMarked(t *testing.T) {
+	s := NewSchedule(1)
+	s.ErrorRate = 1
+	_, err := s.Wrap(okFetch(nil))(context.Background())
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestSchedulePanicEvery(t *testing.T) {
+	s := NewSchedule(1)
+	s.PanicEvery = 3
+	f := s.Wrap(okFetch([]byte("x")))
+	panics := 0
+	for i := 0; i < 9; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			f(context.Background())
+		}()
+	}
+	if panics != 3 {
+		t.Fatalf("9 calls with PanicEvery=3 panicked %d times, want 3", panics)
+	}
+}
+
+func TestScheduleLatencyHonorsCancel(t *testing.T) {
+	s := NewSchedule(1)
+	s.Latency = time.Hour
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := s.Wrap(okFetch(nil))(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("canceled latency wait blocked for %v", time.Since(start))
+	}
+}
+
+func TestFlakyReader(t *testing.T) {
+	r := FlakyReader(bytes.NewReader([]byte("0123456789")), 4)
+	data, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if string(data) != "0123" {
+		t.Fatalf("read %q before the tear, want %q", data, "0123")
+	}
+}
+
+func TestPanicOnNth(t *testing.T) {
+	hook := PanicOnNth(3, "boom")
+	for i := 1; i <= 5; i++ {
+		panicked := func() (p bool) {
+			defer func() { p = recover() != nil }()
+			hook()
+			return false
+		}()
+		if panicked != (i == 3) {
+			t.Fatalf("call %d panicked=%v", i, panicked)
+		}
+	}
+}
+
+func TestCancelAfter(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f := CancelAfter(2, cancel, okFetch([]byte("x")))
+	f(ctx)
+	if ctx.Err() != nil {
+		t.Fatalf("context canceled after first call")
+	}
+	f(ctx)
+	if ctx.Err() == nil {
+		t.Fatalf("context not canceled after second call")
+	}
+}

@@ -1,0 +1,282 @@
+// Package ingest is the fault-tolerance layer between configuration
+// sources and the unified representation. ConfValley validates *before*
+// deployment against configuration pulled from many heterogeneous,
+// unreliable sources — files mid-edit, flaky REST endpoints, malformed
+// formats — and real cloud corpora are full of partially-broken text
+// configs that must be ingested anyway (ConfEx). The raw driver layer is
+// all-or-nothing: one parse error in driver.LoadInto aborts the entire
+// load. This package wraps it with per-source outcomes:
+//
+//   - a malformed or unreadable source is *quarantined* into a
+//     structured LoadReport entry (source, driver, error, instance
+//     count) instead of aborting the batch;
+//   - a Loader retained across validation rounds keeps the *last good
+//     parse* of every source, so a torn mid-write file degrades that one
+//     source to stale data instead of killing the round, with the
+//     staleness (and its age in rounds) surfaced in the report;
+//   - loading honors a context: a deadline or Ctrl-C stops between
+//     sources and marks the report interrupted;
+//   - a driver that panics on hostile input is contained to a per-source
+//     quarantine, same as a parse error.
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"confvalley/internal/config"
+	"confvalley/internal/driver"
+)
+
+// Source describes one configuration source to load.
+type Source struct {
+	// Name is the source's identity: a file path, a REST endpoint URL,
+	// or a registered in-memory name. It is the provenance recorded on
+	// every instance and the key under which last-good parses are kept.
+	Name string
+	// Format is the driver name; empty infers from the file extension.
+	Format string
+	// Scope optionally prefixes every key (the CPL "load ... as Scope"
+	// form).
+	Scope string
+	// Fetch retrieves the raw bytes. Nil reads the file at Name from
+	// disk. The rest driver ignores the bytes' content beyond the URL,
+	// so REST sources pass the URL itself.
+	Fetch func(ctx context.Context) ([]byte, error)
+}
+
+// Outcome is one source's per-round result.
+type Outcome struct {
+	Source string `json:"source"`
+	Driver string `json:"driver"`
+	// Instances contributed to the store this round (fresh or stale).
+	Instances int `json:"instances"`
+	// Err is the fetch/parse failure, empty on a clean load.
+	Err string `json:"err,omitempty"`
+	// Stale means the source failed this round but its last good parse
+	// was served instead.
+	Stale bool `json:"stale,omitempty"`
+	// StaleRounds counts consecutive rounds this source has been served
+	// stale (1 on the first failing round).
+	StaleRounds int `json:"stale_rounds,omitempty"`
+	// Quarantined means the source contributed nothing this round: it
+	// failed and no last good parse was available (or the parse outlived
+	// MaxStale).
+	Quarantined bool `json:"quarantined,omitempty"`
+}
+
+// LoadReport aggregates one load round's per-source outcomes.
+type LoadReport struct {
+	Outcomes []Outcome `json:"outcomes"`
+	// Interrupted marks a load cut off by context cancellation; sources
+	// after the cut contributed nothing and have no outcome.
+	Interrupted bool `json:"interrupted,omitempty"`
+}
+
+// Loaded counts sources that contributed fresh instances this round.
+func (r *LoadReport) Loaded() int { return r.count(func(o Outcome) bool { return o.Err == "" }) }
+
+// Stale counts sources served from their last good parse.
+func (r *LoadReport) Stale() int { return r.count(func(o Outcome) bool { return o.Stale }) }
+
+// Quarantined counts sources that contributed nothing.
+func (r *LoadReport) Quarantined() int {
+	return r.count(func(o Outcome) bool { return o.Quarantined })
+}
+
+// Instances totals the instances contributed across all sources.
+func (r *LoadReport) Instances() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		n += o.Instances
+	}
+	return n
+}
+
+// AllFailed reports whether every source failed to contribute data —
+// the condition under which a round has nothing at all to validate.
+// False for an empty source list.
+func (r *LoadReport) AllFailed() bool {
+	if len(r.Outcomes) == 0 {
+		return false
+	}
+	return r.Quarantined() == len(r.Outcomes)
+}
+
+// Degraded reports whether any source failed this round (stale or
+// quarantined).
+func (r *LoadReport) Degraded() bool {
+	return r.count(func(o Outcome) bool { return o.Err != "" }) > 0
+}
+
+func (r *LoadReport) count(f func(Outcome) bool) int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if f(o) {
+			n++
+		}
+	}
+	return n
+}
+
+// Render writes a compact human-readable load summary, one line per
+// degraded source plus a totals line when anything degraded.
+func (r *LoadReport) Render(w interface{ Write([]byte) (int, error) }) {
+	for _, o := range r.Outcomes {
+		switch {
+		case o.Quarantined:
+			fmt.Fprintf(w, "load: QUARANTINED %s (%s): %s\n", o.Source, o.Driver, o.Err)
+		case o.Stale:
+			fmt.Fprintf(w, "load: STALE %s (%s): serving last good parse (%d instance(s), %d round(s) old): %s\n",
+				o.Source, o.Driver, o.Instances, o.StaleRounds, o.Err)
+		}
+	}
+	if r.Interrupted {
+		fmt.Fprintf(w, "load: interrupted before all sources were read\n")
+	}
+}
+
+// lastGood is the retained parse of one source.
+type lastGood struct {
+	ins         []*config.Instance
+	staleRounds int
+}
+
+// Loader loads batches of sources with graceful degradation, retaining
+// each source's last good parse across rounds. The zero value is ready
+// to use. A Loader is safe for concurrent use; watch-style callers keep
+// one alive for the life of the session so a source torn mid-write in
+// round N serves round N-1's parse.
+type Loader struct {
+	// MaxStale bounds how many consecutive rounds a failing source is
+	// served from its last good parse before it degrades to quarantined.
+	// 0 means serve stale data indefinitely; negative disables stale
+	// serving entirely (every failure quarantines).
+	MaxStale int
+
+	mu   sync.Mutex
+	good map[string]*lastGood
+}
+
+// NewLoader returns a Loader with the given staleness bound.
+func NewLoader(maxStale int) *Loader { return &Loader{MaxStale: maxStale} }
+
+// Load fetches, parses and stores every source, never aborting the batch
+// on a per-source failure: failed sources are served stale (within
+// MaxStale) or quarantined, and the returned LoadReport accounts for
+// every source examined. Cancellation between sources stops the batch
+// with Interrupted set.
+func (l *Loader) Load(ctx context.Context, st *config.Store, sources []Source) *LoadReport {
+	rep := &LoadReport{}
+	for _, src := range sources {
+		if ctx.Err() != nil {
+			rep.Interrupted = true
+			break
+		}
+		rep.Outcomes = append(rep.Outcomes, l.loadOne(ctx, st, src))
+	}
+	return rep
+}
+
+// loadOne handles one source: fetch, parse (panic-contained), store, and
+// last-good bookkeeping.
+func (l *Loader) loadOne(ctx context.Context, st *config.Store, src Source) Outcome {
+	format := src.Format
+	if format == "" {
+		format = FormatFromPath(src.Name)
+	}
+	out := Outcome{Source: src.Name, Driver: format}
+	ins, err := fetchAndParse(ctx, src, format)
+	if err == nil {
+		st.AddAll(ins)
+		out.Instances = len(ins)
+		l.mu.Lock()
+		if l.good == nil {
+			l.good = make(map[string]*lastGood)
+		}
+		l.good[src.Name] = &lastGood{ins: ins}
+		l.mu.Unlock()
+		return out
+	}
+	out.Err = err.Error()
+	// Degrade: serve the last good parse when one exists and is not too
+	// stale. Instances are immutable once parsed, so re-adding the same
+	// pointers to a fresh store is sound.
+	l.mu.Lock()
+	g := l.good[src.Name]
+	if g != nil {
+		g.staleRounds++
+		if l.MaxStale < 0 || (l.MaxStale > 0 && g.staleRounds > l.MaxStale) {
+			g = nil
+		}
+	}
+	var stale []*config.Instance
+	var rounds int
+	if g != nil {
+		stale, rounds = g.ins, g.staleRounds
+	}
+	l.mu.Unlock()
+	if stale != nil {
+		st.AddAll(stale)
+		out.Instances = len(stale)
+		out.Stale = true
+		out.StaleRounds = rounds
+		return out
+	}
+	out.Quarantined = true
+	return out
+}
+
+// fetchAndParse reads a source's bytes and parses them, converting a
+// fetch error, parse error or driver panic into a per-source error.
+func fetchAndParse(ctx context.Context, src Source, format string) (ins []*config.Instance, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ins, err = nil, fmt.Errorf("driver %s: panic parsing %s: %v", format, src.Name, r)
+		}
+	}()
+	var data []byte
+	if src.Fetch != nil {
+		data, err = src.Fetch(ctx)
+	} else {
+		data, err = os.ReadFile(src.Name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", src.Name, err)
+	}
+	return driver.ParseScoped(ctx, format, data, src.Name, src.Scope)
+}
+
+// FormatFromPath guesses a driver name from a file extension; the root
+// package re-exports the same mapping.
+func FormatFromPath(path string) string {
+	dot := strings.LastIndexByte(path, '.')
+	if dot < 0 {
+		return "kv"
+	}
+	switch strings.ToLower(path[dot:]) {
+	case ".xml":
+		return "xml"
+	case ".ini", ".conf", ".cfg":
+		return "ini"
+	case ".json":
+		return "json"
+	case ".yaml", ".yml":
+		return "yaml"
+	case ".csv":
+		return "csv"
+	default:
+		return "kv"
+	}
+}
+
+// Forget drops a source's retained last-good parse (test hygiene, or a
+// source administratively removed from the set).
+func (l *Loader) Forget(name string) {
+	l.mu.Lock()
+	delete(l.good, name)
+	l.mu.Unlock()
+}

@@ -6,6 +6,7 @@ package plan
 // produce identical reports.
 
 import (
+	"errors"
 	"fmt"
 
 	"confvalley/internal/cpl/ast"
@@ -13,23 +14,70 @@ import (
 	"confvalley/internal/value"
 )
 
-// Run executes every spec node sequentially, appending to rep.
+// errInterrupted aborts spec evaluation when the run's context is
+// canceled. It is never recorded as a spec error: the spec did not fail,
+// the run stopped.
+var errInterrupted = errors.New("plan: run interrupted")
+
+// Run executes every spec node sequentially, appending to rep. A
+// canceled runtime context stops the loop and marks the report
+// Interrupted: what ran so far is kept, the rest never executes.
 func (p *Plan) Run(rt *Runtime, rep *report.Report) {
 	for _, n := range p.Specs {
+		if rt.Canceled() {
+			rep.Interrupted = true
+			return
+		}
 		n.Run(rt, rep)
-		if rep.Stopped {
+		if rep.Stopped || rep.Interrupted {
 			break
 		}
 	}
 }
 
 // Run evaluates one specification node, appending violations to rep.
+//
+// Two containment layers live here. A panic anywhere under the spec —
+// typically a plug-in predicate or transformation misbehaving on hostile
+// configuration data — is recovered and converted into a spec-level
+// error, with the spec's partial violations rolled back, so one broken
+// plug-in cannot take down a watch daemon or disturb sibling specs
+// running in other goroutines. A canceled context likewise rolls the
+// in-flight spec back and marks the report Interrupted instead of
+// reporting a half-checked spec.
 func (n *SpecNode) Run(rt *Runtime, rep *report.Report) {
 	rep.SpecsRun++
 	c := &Ctx{rt: rt, quant: ast.QuantAll}
 	before := len(rep.Violations)
 	instBefore := rep.InstancesChecked
-	if err := n.runConds(c, 0, rep); err != nil {
+	panicked := false
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		return n.runConds(c, 0, rep)
+	}()
+	if errors.Is(err, errInterrupted) {
+		// Roll back the partial spec: a spec cut off mid-evaluation has
+		// no trustworthy verdict, and the splice machinery must not cache
+		// one. The report says what happened via Interrupted.
+		rep.Violations = rep.Violations[:before]
+		rep.InstancesChecked = instBefore
+		rep.SpecsRun--
+		rep.Interrupted = true
+		return
+	}
+	if err != nil {
+		if panicked {
+			// A panicking plug-in proves nothing about the data: roll its
+			// partial violations back so the spec reports one containment
+			// error, not a half-finished violation list.
+			rep.Violations = rep.Violations[:before]
+			rep.InstancesChecked = instBefore
+		}
 		rep.AddSpecError(n.Seq, fmt.Sprintf("%s: %v", n.Spec.Text, err))
 		rep.NoteSpec(n.Seq, report.SpecOutcome{Instances: rep.InstancesChecked - instBefore, Errored: true})
 		return
@@ -65,6 +113,9 @@ func (n *SpecNode) runConds(c *Ctx, idx int, rep *report.Report) error {
 	}
 	seen := make(map[string]bool)
 	for i := range elems {
+		if c.canceled() {
+			return errInterrupted
+		}
 		v := elems[i]
 		if v.IsList() || seen[v.Raw] {
 			continue
@@ -120,6 +171,9 @@ func (n *SpecNode) runBody(c *Ctx, rep *report.Report) error {
 		if rep.Stopped {
 			return nil
 		}
+		if c.canceled() {
+			return errInterrupted
+		}
 		de := &n.domains[i]
 		if de.comp == nil {
 			elems, err := de.resolve(c)
@@ -142,6 +196,9 @@ func (n *SpecNode) runBody(c *Ctx, rep *report.Report) error {
 		for _, g := range order {
 			if rep.Stopped {
 				return nil
+			}
+			if c.canceled() {
+				return errInterrupted
 			}
 			sg, sgl, scp := c.group, c.glen, c.compPattern
 			c.group, c.glen, c.compPattern = g, len(de.comp.Segs), de.comp

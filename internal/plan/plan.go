@@ -31,6 +31,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -85,6 +86,16 @@ type Runtime struct {
 	NaiveDiscovery bool
 	// StopOnFirst aborts at the first violation.
 	StopOnFirst bool
+	// Ctx carries the run's deadline and cancellation. Nil means
+	// uncancellable. Executors poll it between specs, between domains and
+	// between compartment groups; a canceled run produces a partial
+	// report marked Interrupted.
+	Ctx context.Context
+}
+
+// Canceled reports whether the run's context has been canceled.
+func (rt *Runtime) Canceled() bool {
+	return rt.Ctx != nil && rt.Ctx.Err() != nil
 }
 
 // snapshot returns the pinned snapshot, or the store's current one for
@@ -111,6 +122,31 @@ type Ctx struct {
 	// compPattern is the combined compartment pattern in effect, used to
 	// prefix references resolved inside the compartment.
 	compPattern *config.Pattern
+
+	polls       uint32 // inner-loop cancellation polls since the last real check
+	interrupted bool   // latched once the context reported canceled
+}
+
+// canceled is the inner-loop variant of Runtime.Canceled. Consulting a
+// cancellable context costs a lock, which dominates tight per-value
+// loops, so those poll the context only once every 64 calls and latch
+// the answer. Spec boundaries use Runtime.Canceled directly and stay
+// exact; inside a spec, cancellation lands at most 63 elements late.
+func (c *Ctx) canceled() bool {
+	if c.rt.Ctx == nil {
+		return false
+	}
+	if c.interrupted {
+		return true
+	}
+	if c.polls++; c.polls&63 != 0 {
+		return false
+	}
+	if c.rt.Ctx.Err() != nil {
+		c.interrupted = true
+		return true
+	}
+	return false
 }
 
 func (c *Ctx) discover(p config.Pattern) []*config.Instance {

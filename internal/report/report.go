@@ -87,6 +87,12 @@ type Report struct {
 	SpecsReused int           `json:"specs_reused,omitempty"`
 	Duration    time.Duration `json:"duration_ns"`
 	Stopped     bool          `json:"stopped"` // stop-on-first-violation policy fired
+	// Interrupted marks a partial report: the run's context was canceled
+	// (deadline, Ctrl-C) before every specification finished. Violations
+	// found up to the interruption point are retained; specs that never
+	// ran contribute nothing, and the spec being evaluated at cancellation
+	// is rolled back rather than reported half-checked.
+	Interrupted bool `json:"interrupted,omitempty"`
 
 	// errSeq tags each SpecErrors entry with its spec's execution
 	// position (parallel to SpecErrors when populated via AddSpecError),
@@ -199,6 +205,7 @@ func (r *Report) Merge(o *Report) {
 		r.Duration = o.Duration // parallel wall clock is the max partition time
 	}
 	r.Stopped = r.Stopped || o.Stopped
+	r.Interrupted = r.Interrupted || o.Interrupted
 	if len(o.perSpec) > 0 {
 		if r.perSpec == nil {
 			r.perSpec = make(map[int]SpecOutcome, len(o.perSpec))
@@ -244,6 +251,11 @@ func (r *Report) GroupByConstraint() []ConstraintGroup {
 
 // Render writes a human-readable report.
 func (r *Report) Render(w io.Writer) error {
+	if r.Interrupted {
+		if _, err := fmt.Fprintf(w, "PARTIAL REPORT: the run was interrupted before all specifications finished\n"); err != nil {
+			return err
+		}
+	}
 	if _, err := fmt.Fprintf(w, "validation: %d spec(s) run, %d failed, %d instance check(s), %d violation(s) in %v\n",
 		r.SpecsRun, r.SpecsFailed, r.InstancesChecked, len(r.Violations), r.Duration.Round(time.Millisecond)); err != nil {
 		return err

@@ -1,10 +1,10 @@
 package confvalley
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync/atomic"
 
 	"confvalley/internal/compiler"
@@ -12,6 +12,7 @@ import (
 	"confvalley/internal/driver"
 	"confvalley/internal/engine"
 	"confvalley/internal/infer"
+	"confvalley/internal/ingest"
 	"confvalley/internal/report"
 	"confvalley/internal/simenv"
 )
@@ -51,6 +52,17 @@ type Session struct {
 	// SpecDir resolves relative include paths; defaults to the working
 	// directory.
 	SpecDir string
+	// Degrade switches the program's load commands to graceful
+	// degradation: a malformed or unreachable source is quarantined (or
+	// served from its last good parse, within MaxStale rounds) instead
+	// of aborting validation, with the per-source accounting retained in
+	// LastLoadReport. Without it, the first load failure aborts — the
+	// strict historical behavior.
+	Degrade bool
+	// MaxStale bounds how many consecutive rounds a failing source may
+	// be served from its last good parse under Degrade; 0 = forever,
+	// negative = never serve stale. Set it before the first validation.
+	MaxStale int
 
 	// registered in-memory spec files for hermetic includes.
 	includes map[string]string
@@ -62,6 +74,12 @@ type Session struct {
 	// so concurrent rounds may race on the pointer safely; last writer
 	// wins and the loser's state is simply not reused.
 	last atomic.Pointer[lastRun]
+
+	// loader retains last-good parses across Degrade-mode loads; lazily
+	// built with the session's MaxStale.
+	loader atomic.Pointer[ingest.Loader]
+	// loadRep retains the most recent Degrade-mode load report.
+	loadRep atomic.Pointer[ingest.LoadReport]
 }
 
 // lastRun is one completed validation retained for incremental reuse.
@@ -142,22 +160,7 @@ func (s *Session) RegisterInclude(name, src string) {
 }
 
 // FormatFromPath guesses a driver name from a file extension.
-func FormatFromPath(path string) string {
-	switch strings.ToLower(filepath.Ext(path)) {
-	case ".xml":
-		return "xml"
-	case ".ini", ".conf", ".cfg":
-		return "ini"
-	case ".json":
-		return "json"
-	case ".yaml", ".yml":
-		return "yaml"
-	case ".csv":
-		return "csv"
-	default:
-		return "kv"
-	}
-}
+func FormatFromPath(path string) string { return ingest.FormatFromPath(path) }
 
 // Compile parses and compiles CPL source, resolving includes from
 // registered in-memory files first and the spec directory second.
@@ -186,9 +189,26 @@ func (s *Session) resolveInclude(path string) (string, error) {
 // ValidateProgram executes a compiled program: load commands first (from
 // registered sources or disk), then every specification.
 func (s *Session) ValidateProgram(prog *Program) (*Report, error) {
-	for _, ld := range prog.Loads {
-		if err := s.execLoad(ld); err != nil {
-			return nil, err
+	return s.ValidateProgramContext(context.Background(), prog)
+}
+
+// ValidateProgramContext is ValidateProgram under a caller-supplied
+// context: a deadline or cancellation stops loading between sources and
+// validation between specifications, returning the partial report marked
+// Interrupted. With Degrade set, per-source load failures quarantine (or
+// serve last-good stale data) instead of aborting; the load accounting
+// lands in LastLoadReport.
+func (s *Session) ValidateProgramContext(ctx context.Context, prog *Program) (*Report, error) {
+	if s.Degrade {
+		s.degradeLoads(ctx, prog)
+	} else {
+		for _, ld := range prog.Loads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := s.execLoad(ctx, ld); err != nil {
+				return nil, err
+			}
 		}
 	}
 	eng := &engine.Engine{
@@ -201,18 +221,62 @@ func (s *Session) ValidateProgram(prog *Program) (*Report, error) {
 		},
 	}
 	if !s.Incremental {
-		return eng.Run(prog), nil
+		return eng.RunContext(ctx, prog), nil
 	}
 	var rep *report.Report
 	if last := s.last.Load(); last != nil && last.prog == prog {
-		rep = eng.RunIncremental(prog, last.snap, last.rep)
+		rep = eng.RunIncrementalContext(ctx, prog, last.snap, last.rep)
 	} else {
 		// First round, or a different program: full run seeds the cache.
-		rep = eng.Run(prog)
+		rep = eng.RunContext(ctx, prog)
+	}
+	if rep.Interrupted {
+		// An interrupted round's verdict set is incomplete: keep the
+		// previous round's state so the next incremental round splices
+		// from something sound.
+		return rep, nil
 	}
 	s.last.Store(&lastRun{prog: prog, snap: eng.PinnedSnapshot(), rep: rep})
 	return rep, nil
 }
+
+// degradeLoads executes the program's load commands through the
+// session's graceful-degradation loader.
+func (s *Session) degradeLoads(ctx context.Context, prog *Program) {
+	if len(prog.Loads) == 0 {
+		return
+	}
+	l := s.loader.Load()
+	if l == nil {
+		l = ingest.NewLoader(s.MaxStale)
+		if !s.loader.CompareAndSwap(nil, l) {
+			l = s.loader.Load()
+		}
+	}
+	sources := make([]ingest.Source, 0, len(prog.Loads))
+	for _, ld := range prog.Loads {
+		sources = append(sources, s.ingestSource(ld))
+	}
+	s.loadRep.Store(l.Load(ctx, s.store.Load(), sources))
+}
+
+// ingestSource maps one CPL load command to an ingest source: registered
+// in-memory data first, REST endpoints by URL, files last.
+func (s *Session) ingestSource(ld compiler.Load) ingest.Source {
+	src := ingest.Source{Name: ld.Source, Format: ld.Driver, Scope: ld.Scope}
+	if data, ok := s.sources[ld.Source]; ok {
+		src.Fetch = func(context.Context) ([]byte, error) { return data, nil }
+	} else if ld.Driver == "rest" {
+		// The rest driver resolves its transport itself; the bytes are
+		// the endpoint URL.
+		src.Fetch = func(context.Context) ([]byte, error) { return []byte(ld.Source), nil }
+	}
+	return src
+}
+
+// LastLoadReport returns the per-source accounting of the most recent
+// Degrade-mode load, or nil when none has run.
+func (s *Session) LastLoadReport() *LoadReport { return s.loadRep.Load() }
 
 // LastReport returns the report retained by the most recent Incremental
 // validation round, or nil when none has run.
@@ -223,18 +287,30 @@ func (s *Session) LastReport() *Report {
 	return nil
 }
 
-func (s *Session) execLoad(ld compiler.Load) error {
-	if data, ok := s.sources[ld.Source]; ok {
-		_, err := s.LoadData(ld.Driver, data, ld.Source, ld.Scope)
+func (s *Session) execLoad(ctx context.Context, ld compiler.Load) error {
+	src := s.ingestSource(ld)
+	data, err := []byte(nil), error(nil)
+	if src.Fetch != nil {
+		data, err = src.Fetch(ctx)
+	} else {
+		data, err = os.ReadFile(ld.Source)
+		if err != nil {
+			return fmt.Errorf("confvalley: reading %s: %w", ld.Source, err)
+		}
+	}
+	if err != nil {
 		return err
 	}
-	if ld.Driver == "rest" {
-		// The rest driver resolves its endpoint registry itself.
-		_, err := s.LoadData("rest", []byte(ld.Source), ld.Source, ld.Scope)
+	format := ld.Driver
+	if format == "" {
+		format = FormatFromPath(ld.Source)
+	}
+	ins, err := driver.ParseScoped(ctx, format, data, ld.Source, ld.Scope)
+	if err != nil {
 		return err
 	}
-	_, err := s.LoadFile(ld.Driver, ld.Source, ld.Scope)
-	return err
+	s.store.Load().AddAll(ins)
+	return nil
 }
 
 // Validate compiles CPL source and runs it against the session:
