@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build tier1 test bench plan-bench stress store-bench incremental-bench fault-bench fuzz-smoke bench-smoke
+.PHONY: all build tier1 test bench plan-bench stress store-bench incremental-bench fault-bench fuzz-smoke bench-smoke e2e
 
 all: build
 
@@ -32,10 +32,18 @@ plan-bench:
 
 # Focused run of the concurrency stress suite under the race detector.
 # -count=3 re-interleaves the schedules; the cold-cache discovery test
-# is the regression gate for the buildTrie race, and the chaos suite
-# drives multi-round watch sessions through injected ingestion faults.
+# is the regression gate for the buildTrie race, the chaos suite drives
+# multi-round watch sessions through injected ingestion faults, and the
+# serve/runner tests race concurrent tenants over shared sessions.
 stress:
-	$(GO) test -race -count=3 -run 'TestConcurrent|TestParallelRun|TestSwapStore|TestSnapshotIsolation|TestChaos' ./internal/config/ ./internal/engine/ .
+	$(GO) test -race -count=3 -run 'TestConcurrent|TestParallelRun|TestSwapStore|TestSnapshotIsolation|TestChaos' ./internal/config/ ./internal/engine/ ./internal/runner/ ./internal/serve/ .
+
+# Full service round trip over real processes and a loopback socket:
+# build cvserve+cvcall+cvcheck, boot the server, drive it with cvcall
+# register→validate→report, and assert exit codes plus report identity
+# with the CLI path. Mirrors the CI "Service e2e" job.
+e2e:
+	$(GO) test -run TestE2E -v ./cmd/cvserve/
 
 # Regenerate the numbers recorded in BENCH_store.json.
 store-bench:

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"confvalley"
 	"confvalley/internal/experiments"
 )
 
@@ -28,12 +29,17 @@ func main() {
 
 func run() int {
 	var (
-		which = flag.String("run", "all", "experiment to run (comma-separated; see package comment)")
-		full  = flag.Bool("full", false, "paper-scale corpora (slow, memory-hungry)")
-		scale = flag.Float64("scale", 0, "override Type A scale (0 = preset)")
-		seed  = flag.Int64("seed", 2015, "corpus generation seed")
+		which   = flag.String("run", "all", "experiment to run (comma-separated; see package comment)")
+		full    = flag.Bool("full", false, "paper-scale corpora (slow, memory-hungry)")
+		scale   = flag.Float64("scale", 0, "override Type A scale (0 = preset)")
+		seed    = flag.Int64("seed", 2015, "corpus generation seed")
+		version = flag.Bool("version", false, "print the ConfValley version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("cvbench version %s\n", confvalley.Version)
+		return 0
+	}
 
 	cfg := experiments.Quick(os.Stdout)
 	if *full {

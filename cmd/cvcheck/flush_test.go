@@ -1,0 +1,124 @@
+package main
+
+// The -watch -json JSONL stream must be flushed after every round: a
+// pipe consumer tails the stream live and cannot wait for a buffer to
+// fill or the process to exit to see a round's report.
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"confvalley"
+)
+
+// TestWatchJSONFlushedPerRound runs a two-round watch session writing
+// through a large bufio.Writer and asserts round 1's report reaches the
+// underlying sink while the session is still running — i.e. before
+// anything could have implicitly flushed at exit.
+func TestWatchJSONFlushedPerRound(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "s.cpl")
+	data := filepath.Join(dir, "d.kv")
+	if err := os.WriteFile(spec, []byte("$app.timeout -> int & [1, 60]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(data, []byte("app.timeout = 30\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sink syncBuffer
+	// Big enough that two compact reports never fill it on their own:
+	// only explicit flushes make output visible.
+	stdout := bufio.NewWriterSize(&sink, 1<<20)
+	var errb syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-spec", spec, "-data", "kv:" + data, "-watch", "5ms", "-json", "-watch-rounds", "2"}, stdout, &errb)
+	}()
+
+	// Round 1's JSON line must appear in the sink while the watch session
+	// is still alive, waiting for a change to trigger round 2.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(sink.String(), "\n") {
+		select {
+		case code := <-done:
+			t.Fatalf("watch session exited early (code %d) before stream check:\n%s", code, errb.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("round 1 report never flushed to the pipe; buffered output withheld.\nstderr:\n%s", errb.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	first := strings.SplitN(sink.String(), "\n", 2)[0]
+	w, err := confvalley.DecodeReportWire([]byte(first))
+	if err != nil {
+		t.Fatalf("round 1 stream line is not a wire report: %v\n%s", err, first)
+	}
+	if w.SchemaVersion != confvalley.ReportSchemaVersion || !w.Passed {
+		t.Errorf("round 1 wire report: schema=%d passed=%t", w.SchemaVersion, w.Passed)
+	}
+
+	// Trigger round 2 and let the session finish.
+	if err := os.WriteFile(data, []byte("app.timeout = 400\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 1 {
+			t.Errorf("final round exit code = %d, want 1 (violation)", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch session did not finish after round 2")
+	}
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("stream has %d lines, want 2:\n%s", len(lines), sink.String())
+	}
+	w2, err := confvalley.DecodeReportWire([]byte(lines[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Passed || len(w2.Violations) != 1 {
+		t.Errorf("round 2 wire report: passed=%t violations=%d", w2.Passed, len(w2.Violations))
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	code, out, _ := runCvcheck(t, "-version")
+	if code != 0 {
+		t.Fatalf("-version exited %d", code)
+	}
+	if !strings.Contains(out, confvalley.Version) {
+		t.Errorf("-version output lacks the version constant: %q", out)
+	}
+}
+
+// Without -watch, -json emits the indented wire encoding.
+func TestJSONOnceIsWireFormat(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "s.cpl")
+	data := filepath.Join(dir, "d.kv")
+	if err := os.WriteFile(spec, []byte("$app.timeout -> int & [1, 60]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(data, []byte("app.timeout = 400\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCvcheck(t, "-spec", spec, "-data", "kv:"+data, "-json")
+	if code != 1 {
+		t.Fatalf("violating -json run exited %d, want 1", code)
+	}
+	w, err := confvalley.DecodeReportWire([]byte(out))
+	if err != nil {
+		t.Fatalf("-json output is not wire format: %v\n%s", err, out)
+	}
+	if w.Passed || len(w.Violations) != 1 {
+		t.Errorf("wire report: passed=%t violations=%d", w.Passed, len(w.Violations))
+	}
+}

@@ -6,7 +6,7 @@
 //
 //	cvcheck -spec checks.cpl [-data xml:/path/settings.xml[:Scope]]...
 //	        [-parallel N] [-stop] [-json] [-watch 2s] [-interpret]
-//	        [-no-incremental] [-load-timeout 5s] [-max-stale N]
+//	        [-no-incremental] [-load-timeout 5s] [-max-stale N] [-version]
 //
 // Data sources may also come from load commands inside the specification
 // file. With -watch, cvcheck revalidates whenever the specification or a
@@ -14,8 +14,10 @@
 // rounds are incremental by default: only the specifications whose
 // footprint overlaps the keys changed since the last round re-run
 // (-no-incremental restores full revalidation). With both -watch and
-// -json, each round prints one compact JSON report object to stdout;
-// human-oriented text goes to stderr.
+// -json, each round prints one wire-format JSON report object
+// (schema_version-stamped; see internal/report.Wire) to stdout, flushed
+// per round so pipe consumers see reports promptly; human-oriented text
+// goes to stderr.
 //
 // Loading is fault tolerant: a malformed or unreadable source is
 // quarantined (and, across watch rounds, served from its last good parse
@@ -23,6 +25,10 @@
 // aborting the round, with per-source accounting on stderr. -load-timeout
 // bounds each round; the deadline — or Ctrl-C — stops the round
 // mid-flight with a partial report marked as interrupted.
+//
+// The load→compile→validate→report orchestration itself lives in
+// internal/runner — the same code path cvserve drives per tenant — so
+// this command is only flag parsing, rendering, and the watch loop.
 //
 // Exit status:
 //
@@ -38,7 +44,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +55,7 @@ import (
 	"time"
 
 	"confvalley"
+	"confvalley/internal/runner"
 )
 
 type dataFlags []string
@@ -71,18 +77,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		specPath    = fs.String("spec", "", "CPL specification file (required)")
 		parallel    = fs.Int("parallel", 1, "validate specifications in N parallel partitions")
 		stop        = fs.Bool("stop", false, "stop at the first violation")
-		asJSON      = fs.Bool("json", false, "emit the report as JSON")
+		asJSON      = fs.Bool("json", false, "emit the report as wire-format JSON")
 		watch       = fs.Duration("watch", 0, "revalidate at this interval when spec or data files change (0 = run once)")
 		interp      = fs.Bool("interpret", false, "execute via the AST interpreter instead of lowered plans")
 		rounds      = fs.Int("watch-rounds", 0, "with -watch, exit after this many validation rounds (0 = forever; for tests)")
 		noInc       = fs.Bool("no-incremental", false, "with -watch, fully revalidate every round instead of re-running only the specs affected by changed keys")
 		loadTimeout = fs.Duration("load-timeout", 0, "bound each validation round (loading plus validation); 0 = no bound")
 		maxStale    = fs.Int("max-stale", 0, "serve a failing source from its last good parse for at most N watch rounds (0 = forever, negative = never)")
+		version     = fs.Bool("version", false, "print the ConfValley version and exit")
 		data        dataFlags
 	)
 	fs.Var(&data, "data", "configuration source as format:path[:scope]; repeatable")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		fmt.Fprintf(stdout, "cvcheck version %s (report schema v%d)\n", confvalley.Version, confvalley.ReportSchemaVersion)
+		return 0
 	}
 	if *specPath == "" {
 		fmt.Fprintln(stderr, "cvcheck: -spec is required")
@@ -108,125 +119,96 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	// The session persists across watch rounds. Rounds where only data
-	// changed reuse the compiled program, so the executable-plan cache
-	// keyed on program identity keeps its entry and revalidation skips
-	// both compilation and plan lowering. (Files pulled in by include
-	// commands are not watched; editing one without touching the
-	// top-level spec keeps the cached program, matching the watch loop's
-	// own change detection.)
-	//
-	// Each round loads the data files into a *fresh* store built off to
-	// the side and swaps it in atomically: a validation still in flight
-	// pinned the old store's snapshot and finishes against it, instead of
-	// racing a reload mutating the store underneath it. The graceful-
-	// degradation loader persists alongside the session, retaining each
-	// source's last good parse so a source torn mid-write in round N
-	// serves round N-1's data.
-	s := confvalley.NewSession()
-	s.Parallel = *parallel
-	s.StopOnFirst = *stop
-	s.Interpret = *interp
-	s.Degrade = true
-	s.MaxStale = *maxStale
-	// Watch rounds revalidate a mostly-unchanged corpus, so incremental
-	// mode is the default there: each round diffs the fresh store's
-	// snapshot against the previous round's and re-runs only the specs
-	// whose footprint the changed keys touch.
-	s.Incremental = *watch > 0 && !*noInc
-	s.SpecDir = filepath.Dir(*specPath)
-	s.SetEnv(confvalley.HostEnv())
-	loader := confvalley.NewLoader(*maxStale)
+	// The runner persists across watch rounds: one session (so the
+	// compiled program and its cached executable plan survive rounds
+	// where only data changed), one graceful-degradation loader (so a
+	// source torn mid-write in round N serves round N-1's parse), and
+	// the swap-in of each round's freshly built store.
+	incremental := *watch > 0 && !*noInc
+	r := runner.New(runner.Options{
+		Parallel:    *parallel,
+		StopOnFirst: *stop,
+		Interpret:   *interp,
+		Incremental: incremental,
+		MaxStale:    *maxStale,
+		LoadTimeout: *loadTimeout,
+		SpecDir:     filepath.Dir(*specPath),
+		Env:         confvalley.HostEnv(),
+	})
 
-	var (
-		lastSrc  string
-		lastProg *confvalley.Program
-	)
 	validateOnce := func(ctx context.Context) int {
-		if *loadTimeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *loadTimeout)
-			defer cancel()
-		}
-		st := confvalley.NewStore()
-		dataRep := loader.Load(ctx, st, dataSources)
-		for _, o := range dataRep.Outcomes {
-			if o.Err == "" {
-				fmt.Fprintf(stderr, "cvcheck: loaded %d instance(s) from %s\n", o.Instances, o.Source)
-			}
-		}
-		dataRep.Render(stderr)
-		s.SwapStore(st)
-
-		src, err := os.ReadFile(*specPath)
+		res, err := r.Run(ctx, runner.Job{SpecPath: *specPath, Sources: dataSources})
 		if err != nil {
 			fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 			return 2
 		}
-		if lastProg == nil || string(src) != lastSrc {
-			prog, err := s.Compile(string(src))
-			if err != nil {
-				fmt.Fprintf(stderr, "cvcheck: %v\n", err)
-				return 2
+		if res.Data != nil {
+			for _, o := range res.Data.Outcomes {
+				if o.Err == "" {
+					fmt.Fprintf(stderr, "cvcheck: loaded %d instance(s) from %s\n", o.Instances, o.Source)
+				}
 			}
-			lastSrc, lastProg = string(src), prog
+			res.Data.Render(stderr)
 		}
-		rep, err := s.ValidateProgramContext(ctx, lastProg)
-		if err != nil {
-			fmt.Fprintf(stderr, "cvcheck: %v\n", err)
-			return 2
+		if res.SpecLoads != nil {
+			res.SpecLoads.Render(stderr)
 		}
-		// Fold the spec file's own load commands into the per-round source
-		// accounting.
-		total, quarantined := len(dataRep.Outcomes), dataRep.Quarantined()
-		if lr := s.LastLoadReport(); lr != nil && len(lastProg.Loads) > 0 {
-			lr.Render(stderr)
-			total += len(lr.Outcomes)
-			quarantined += lr.Quarantined()
-		}
-		if s.Incremental {
+		if incremental {
+			rep := res.Report
 			fmt.Fprintf(stderr, "cvcheck: re-ran %d/%d specs (%d reused)\n",
 				rep.SpecsRun-rep.SpecsReused, rep.SpecsRun, rep.SpecsReused)
 		}
 		switch {
 		case *asJSON && *watch > 0:
-			// Watch mode emits one compact JSON object per round on
-			// stdout — a machine-consumable stream; all human-oriented
-			// text (round banners, load counts, re-run stats) stays on
-			// stderr.
-			b, err := json.Marshal(rep)
+			// Watch mode emits one compact wire-format JSON object per
+			// round on stdout — a machine-consumable JSONL stream,
+			// flushed per round; all human-oriented text (round banners,
+			// load counts, re-run stats) stays on stderr.
+			b, err := res.Report.EncodeWire()
 			if err != nil {
 				fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 				return 2
 			}
 			fmt.Fprintln(stdout, string(b))
+			flush(stdout)
 		case *asJSON:
-			b, err := rep.JSON()
+			b, err := res.Report.EncodeWireIndented()
 			if err != nil {
 				fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 				return 2
 			}
 			fmt.Fprintln(stdout, string(b))
 		default:
-			if err := rep.Render(stdout); err != nil {
+			if err := res.Report.Render(stdout); err != nil {
 				fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 				return 2
 			}
 		}
-		if total > 0 && quarantined == total {
+		if res.AllSourcesFailed() {
 			fmt.Fprintf(stderr, "cvcheck: every configuration source failed to load; nothing was validated\n")
-			return 3
 		}
-		if rep.Passed() {
-			return 0
-		}
-		return 1
+		return res.Code()
 	}
 
 	if *watch <= 0 {
 		return validateOnce(ctx)
 	}
 	return watchLoop(ctx, *specPath, data, *watch, *rounds, validateOnce)
+}
+
+// flush pushes buffered output through to the consumer. Watch mode's
+// JSONL stream is only useful if each round's report is visible as soon
+// as the round ends — a pipe consumer must not wait for a buffer to
+// fill (or the process to exit) to see round 1.
+func flush(w io.Writer) {
+	switch f := w.(type) {
+	case interface{ Flush() error }:
+		f.Flush()
+	case interface{ Flush() }:
+		f.Flush()
+	case interface{ Sync() error }:
+		f.Sync()
+	}
 }
 
 // watchLoop revalidates whenever the specification file or any data file
@@ -274,20 +256,12 @@ func watchLoop(ctx context.Context, specPath string, data []string, interval tim
 	}
 }
 
-// splitDataArg parses format:path[:scope]. Paths may contain colons on
-// Windows-style shares, so the format is taken from the first colon and
-// the scope from the last only when it looks like a scope (no slashes).
+// splitDataArg parses format:path[:scope] through the shared runner
+// helper (cvcall accepts the same syntax).
 func splitDataArg(arg string) (format, path, scope string, err error) {
-	i := strings.IndexByte(arg, ':')
-	if i <= 0 {
+	src, err := runner.ParseSourceArg(arg)
+	if err != nil {
 		return "", "", "", fmt.Errorf("bad -data %q; want format:path[:scope]", arg)
 	}
-	format, rest := arg[:i], arg[i+1:]
-	if j := strings.LastIndexByte(rest, ':'); j > 0 {
-		tail := rest[j+1:]
-		if tail != "" && !strings.ContainsAny(tail, `/\.`) {
-			return format, rest[:j], tail, nil
-		}
-	}
-	return format, rest, "", nil
+	return src.Format, src.Name, src.Scope, nil
 }

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -22,6 +23,12 @@ import (
 )
 
 func main() {
+	version := flag.Bool("version", false, "print the ConfValley version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Printf("cvconsole version %s\n", confvalley.Version)
+		return
+	}
 	s := confvalley.NewSession()
 	s.SetEnv(confvalley.HostEnv())
 	fmt.Println("ConfValley console — type a CPL specification, 'get $Key', 'infer', or :quit")

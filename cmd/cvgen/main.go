@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"confvalley"
 	"confvalley/internal/azuregen"
 	"confvalley/internal/config"
 )
@@ -32,8 +33,13 @@ func run() int {
 		out      = flag.String("out", "", "output file (default stdout)")
 		clusters = flag.Int("clusters", 40, "expert corpus: cluster count")
 		errors   = flag.Int("errors", 0, "expert corpus: expert errors to inject")
+		version  = flag.Bool("version", false, "print the ConfValley version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Printf("cvgen version %s\n", confvalley.Version)
+		return 0
+	}
 
 	var data []byte
 	switch *typ {

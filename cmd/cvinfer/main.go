@@ -31,12 +31,17 @@ func main() {
 
 func run() int {
 	var (
-		out   = flag.String("out", "", "write generated CPL here (default stdout)")
-		stats = flag.Bool("stats", false, "print a per-category constraint summary")
-		data  dataFlags
+		out     = flag.String("out", "", "write generated CPL here (default stdout)")
+		stats   = flag.Bool("stats", false, "print a per-category constraint summary")
+		version = flag.Bool("version", false, "print the ConfValley version and exit")
+		data    dataFlags
 	)
 	flag.Var(&data, "data", "configuration source as format:path[:scope]; repeatable")
 	flag.Parse()
+	if *version {
+		fmt.Printf("cvinfer version %s\n", confvalley.Version)
+		return 0
+	}
 	if len(data) == 0 {
 		fmt.Fprintln(os.Stderr, "cvinfer: at least one -data source is required")
 		flag.Usage()

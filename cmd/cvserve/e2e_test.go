@@ -1,0 +1,194 @@
+package main
+
+// TestE2E is the full service round trip over real processes and a real
+// socket: build cvserve, cvcall and cvcheck, boot the server on a
+// loopback port, drive it with cvcall register→validate→report, and
+// hold the service to the CLI contract — same exit codes, and a wire
+// report byte-identical (modulo timing) to cvcheck's for the same
+// spec and data. CI runs it as a dedicated job (`make e2e`).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"confvalley"
+)
+
+const e2eSpec = `$app.timeout -> int & [1, 60]
+$app.retries -> int & [0, 5]
+$db.host -> nonempty
+`
+
+// Violates two of the three checks: exit code 1 on both paths.
+const e2eData = "app.timeout = 400\napp.retries = 9\ndb.host = db1.example\n"
+
+// zeroTiming decodes a wire report, zeroes its timing, and re-encodes —
+// the "byte-identical modulo timing" comparison form.
+func zeroTiming(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	w, err := confvalley.DecodeReportWire(raw)
+	if err != nil {
+		t.Fatalf("decoding wire report: %v\nraw: %s", err, raw)
+	}
+	w.DurationNS = 0
+	b, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func runCmd(t *testing.T, bin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", bin, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestE2E(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	dir := t.TempDir()
+	build := exec.Command("go", "build", "-o", dir,
+		"./cmd/cvserve", "./cmd/cvcall", "./cmd/cvcheck")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building binaries: %v\n%s", err, out)
+	}
+	cvserve := filepath.Join(dir, "cvserve")
+	cvcall := filepath.Join(dir, "cvcall")
+	cvcheck := filepath.Join(dir, "cvcheck")
+
+	specFile := filepath.Join(dir, "checks.cpl")
+	dataFile := filepath.Join(dir, "app.kv")
+	if err := os.WriteFile(specFile, []byte(e2eSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dataFile, []byte(e2eData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot the server on an OS-assigned port and read the resolved
+	// address off its announcement line.
+	srv := exec.Command(cvserve, "-addr", "127.0.0.1:0")
+	srvOut, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srvErr bytes.Buffer
+	srv.Stderr = &srvErr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- srv.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			srv.Process.Kill()
+			t.Error("cvserve did not shut down on SIGTERM")
+		}
+		t.Logf("cvserve stderr: %s", srvErr.String())
+	}()
+
+	sc := bufio.NewScanner(srvOut)
+	if !sc.Scan() {
+		t.Fatalf("cvserve produced no output; stderr: %s", srvErr.String())
+	}
+	banner := sc.Text()
+	const prefix = "cvserve: listening on "
+	if !strings.HasPrefix(banner, prefix) {
+		t.Fatalf("unexpected banner %q", banner)
+	}
+	base := strings.TrimPrefix(banner, prefix)
+	go func() { // drain so the server never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+
+	call := func(args ...string) (string, string, int) {
+		return runCmd(t, cvcall, append([]string{"-server", base, "-tenant", "e2e"}, args...)...)
+	}
+
+	// Register and list.
+	if out, errOut, code := call("register", "checks", specFile); code != 0 {
+		t.Fatalf("register exited %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if out, _, code := call("list"); code != 0 || !strings.Contains(out, "checks") {
+		t.Fatalf("list exited %d, out %q", code, out)
+	}
+
+	// Validate violating data: exit 1 with the wire report on stdout.
+	callJSON, callErr, callCode := call("-json", "validate", "checks", "kv:"+dataFile)
+	if callCode != 1 {
+		t.Fatalf("cvcall validate exited %d, want 1\nstdout: %s\nstderr: %s", callCode, callJSON, callErr)
+	}
+
+	// The stored report reproduces the validation response.
+	repJSON, _, repCode := call("-json", "report", "checks")
+	if repCode != 1 {
+		t.Fatalf("cvcall report exited %d, want 1", repCode)
+	}
+	if got, want := zeroTiming(t, []byte(repJSON)), zeroTiming(t, []byte(callJSON)); !bytes.Equal(got, want) {
+		t.Errorf("stored report diverged from validate response:\nreport:   %s\nvalidate: %s", got, want)
+	}
+
+	// The CLI path on identical inputs: identical exit code, identical
+	// report bytes modulo timing.
+	checkJSON, checkErr, checkCode := runCmd(t, cvcheck, "-json", "-spec", specFile, "-data", "kv:"+dataFile)
+	if checkCode != 1 {
+		t.Fatalf("cvcheck exited %d, want 1\nstderr: %s", checkCode, checkErr)
+	}
+	if got, want := zeroTiming(t, []byte(callJSON)), zeroTiming(t, []byte(checkJSON)); !bytes.Equal(got, want) {
+		t.Errorf("service and CLI reports diverged:\nservice: %s\n    cli: %s", got, want)
+	}
+
+	// Health carries the build version so clients know what they talk to.
+	if out, _, code := call("health"); code != 0 || !strings.Contains(out, confvalley.Version) {
+		t.Fatalf("health exited %d without version %s: %q", code, confvalley.Version, out)
+	}
+
+	// Stats counted the two validations (validate + none for report).
+	if out, _, code := call("-json", "stats"); code != 0 || !strings.Contains(out, `"validations": 1`) {
+		t.Fatalf("stats exited %d: %q", code, out)
+	}
+
+	// Exit-code contract end to end: clean data exits 0.
+	cleanFile := filepath.Join(dir, "clean.kv")
+	if err := os.WriteFile(cleanFile, []byte("app.timeout = 30\napp.retries = 2\ndb.host = db1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, errOut, code := call("validate", "checks", "kv:"+cleanFile); code != 0 {
+		t.Fatalf("clean validate exited %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	} else if !strings.Contains(out, "passed") && !strings.Contains(out, "PASS") && out == "" {
+		t.Logf("clean validate output: %q", out)
+	}
+
+	// Unknown spec is a client-side usage error (exit 2), not a crash.
+	if _, _, code := call("validate", "nosuch"); code != 2 {
+		t.Fatalf("validate of unknown spec exited %d, want 2", code)
+	}
+}

@@ -38,12 +38,24 @@ import (
 	"confvalley/internal/value"
 )
 
+// Version identifies this ConfValley build. Every command accepts a
+// -version flag that prints it, and the cvserve health endpoint reports
+// it so clients can tell what they are talking to.
+const Version = "0.6.0"
+
+// ReportSchemaVersion is the version stamped on wire-encoded reports
+// (Report.EncodeWire); see internal/report.SchemaVersion.
+const ReportSchemaVersion = report.SchemaVersion
+
 // Re-exported result and configuration types. The aliases keep the public
 // surface in one import while the implementation stays in internal
 // packages.
 type (
 	// Report is a validation run's outcome.
 	Report = report.Report
+	// ReportWire is the versioned, stable JSON form of a Report — the
+	// machine contract emitted by cvcheck -json and cvserve.
+	ReportWire = report.Wire
 	// Violation is one failed check.
 	Violation = report.Violation
 	// Severity ranks violations.
@@ -116,6 +128,11 @@ func ParsePattern(s string) (Pattern, error) { return config.ParsePattern(s) }
 // NewSession build one; watch-style callers construct stores off to the
 // side, fill them with LoadFileInto, and Session.SwapStore them in.
 func NewStore() *Store { return config.NewStore() }
+
+// DecodeReportWire parses a wire-encoded report produced by
+// Report.EncodeWire (or by cvserve / cvcheck -json), rejecting schema
+// versions newer than this build understands.
+func DecodeReportWire(b []byte) (*ReportWire, error) { return report.DecodeWire(b) }
 
 // NewLoader returns a graceful-degradation loader. maxStale bounds how
 // many consecutive rounds a failing source is served from its last good

@@ -1,0 +1,309 @@
+// Package runner is the reusable load→compile→validate→report core
+// shared by every ConfValley front end. The orchestration that once
+// lived inline in cmd/cvcheck — building a fresh store per round,
+// loading data sources through the graceful-degradation loader,
+// caching the compiled program across rounds, swapping the store in
+// atomically, and folding the per-source accounting into an exit
+// code — is a policy any caller of the library needs, not a CLI
+// detail. cvcheck is now a thin flag-parsing shell over this package,
+// and cvserve drives the exact same code path per tenant, so the CLI
+// and the service cannot fork behaviorally.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"confvalley"
+)
+
+// Options configures a Runner; the fields mirror cvcheck's flags and
+// the corresponding Session knobs. The zero value is a sequential,
+// non-incremental, degrading runner with no load timeout.
+type Options struct {
+	// Parallel > 1 partitions specifications across that many workers.
+	Parallel int
+	// StopOnFirst aborts validation at the first violation.
+	StopOnFirst bool
+	// Interpret selects the AST interpreter over lowered plans.
+	Interpret bool
+	// Incremental retains each run's (snapshot, report) pair and
+	// re-runs only the specs whose footprint overlaps the keys changed
+	// since — cvcheck's watch-round default.
+	Incremental bool
+	// Strict disables graceful degradation: the first source that
+	// fails to load aborts the run instead of being quarantined.
+	Strict bool
+	// MaxStale bounds how many consecutive rounds a failing source is
+	// served from its last good parse (0 = forever, negative = never).
+	MaxStale int
+	// LoadTimeout bounds each run (loading plus validation); 0 = none.
+	LoadTimeout time.Duration
+	// SpecDir resolves relative include paths.
+	SpecDir string
+	// Env answers dynamic predicate queries; nil keeps the session's
+	// default simulated environment.
+	Env confvalley.Env
+}
+
+// Payload is one in-memory configuration source — the shape a service
+// request carries configuration in, where there is no local file.
+type Payload struct {
+	// Name is the provenance recorded on every instance and the key
+	// under which the loader retains last-good parses.
+	Name string
+	// Format is the driver name; empty infers from Name's extension.
+	Format string
+	// Scope optionally prefixes every key.
+	Scope string
+	// Data is the raw configuration bytes.
+	Data []byte
+}
+
+// Job is one validation request: a specification (by path, source
+// text, or pre-compiled program — exactly one) plus the configuration
+// to validate (file/REST sources, in-memory payloads, or both).
+type Job struct {
+	// SpecPath compiles the CPL file at this path.
+	SpecPath string
+	// SpecSrc compiles this CPL source directly.
+	SpecSrc string
+	// Prog runs an already-compiled program (a service's registered
+	// spec). Takes precedence over SpecPath and SpecSrc.
+	Prog *confvalley.Program
+	// Sources are configuration sources loaded by the degradation
+	// loader (file paths, REST endpoints).
+	Sources []confvalley.Source
+	// Payloads are in-memory configuration sources.
+	Payloads []Payload
+}
+
+// Result is one completed run: the validation report plus the load
+// accounting the exit-code and rendering policy is derived from.
+type Result struct {
+	// Report is the validation outcome.
+	Report *confvalley.Report
+	// Data accounts for the job's Sources and Payloads; nil when the
+	// job carried none.
+	Data *confvalley.LoadReport
+	// SpecLoads accounts for load commands inside the specification
+	// itself; nil when it has none (or in Strict mode).
+	SpecLoads *confvalley.LoadReport
+	// Program is the compiled program the run executed — callers reuse
+	// it to skip recompilation, and tests compare identity.
+	Program *confvalley.Program
+}
+
+// SourcesTotal counts every configuration source the run examined.
+func (r *Result) SourcesTotal() int {
+	n := 0
+	if r.Data != nil {
+		n += len(r.Data.Outcomes)
+	}
+	if r.SpecLoads != nil {
+		n += len(r.SpecLoads.Outcomes)
+	}
+	return n
+}
+
+// SourcesQuarantined counts sources that contributed nothing.
+func (r *Result) SourcesQuarantined() int {
+	n := 0
+	if r.Data != nil {
+		n += r.Data.Quarantined()
+	}
+	if r.SpecLoads != nil {
+		n += r.SpecLoads.Quarantined()
+	}
+	return n
+}
+
+// AllSourcesFailed reports whether every source failed to load —
+// nothing at all was validated. False when the run had no sources.
+func (r *Result) AllSourcesFailed() bool {
+	t := r.SourcesTotal()
+	return t > 0 && r.SourcesQuarantined() == t
+}
+
+// Code maps the result onto the documented exit-code contract shared
+// by cvcheck and cvcall: 0 clean, 1 violations or spec errors, 3 every
+// source failed. (2 — usage/compile errors — never reaches a Result;
+// those surface as errors from Run.)
+func (r *Result) Code() int {
+	switch {
+	case r.AllSourcesFailed():
+		return 3
+	case r.Report.Passed():
+		return 0
+	default:
+		return 1
+	}
+}
+
+// SpecError marks a failure to read or compile the specification — the
+// caller's input is at fault, not the configuration data. cvcheck maps
+// it to exit 2 and cvserve to HTTP 400.
+type SpecError struct{ Err error }
+
+func (e *SpecError) Error() string { return e.Err.Error() }
+func (e *SpecError) Unwrap() error { return e.Err }
+
+// Runner is a persistent validation pipeline: one session, one
+// graceful-degradation loader, and one compiled-program cache, reused
+// across runs so watch rounds and service requests skip recompilation
+// and serve stale data across failures. A Runner is safe for
+// concurrent Run calls: each run builds and validates a private store,
+// and the published session store is only ever swapped whole.
+type Runner struct {
+	opts    Options
+	session *confvalley.Session
+	loader  *confvalley.Loader
+
+	// mu guards the compiled-program cache. Program identity matters
+	// beyond speed: the plan cache and incremental splice state are
+	// both keyed on it, so rounds that re-read identical spec text
+	// must get the identical *Program back.
+	mu       sync.Mutex
+	lastSrc  string
+	lastProg *confvalley.Program
+}
+
+// New returns a Runner over a fresh session configured by opts.
+func New(opts Options) *Runner {
+	s := confvalley.NewSession()
+	s.Parallel = opts.Parallel
+	s.StopOnFirst = opts.StopOnFirst
+	s.Interpret = opts.Interpret
+	s.Incremental = opts.Incremental
+	s.Degrade = !opts.Strict
+	s.MaxStale = opts.MaxStale
+	s.SpecDir = opts.SpecDir
+	if opts.Env != nil {
+		s.SetEnv(opts.Env)
+	}
+	return &Runner{
+		opts:    opts,
+		session: s,
+		loader:  confvalley.NewLoader(opts.MaxStale),
+	}
+}
+
+// Session exposes the underlying session (stats, stores, inference).
+func (r *Runner) Session() *confvalley.Session { return r.session }
+
+// Compile compiles CPL source through the runner's program cache:
+// identical source returns the identical *Program, so plan lowering
+// and incremental state survive across rounds.
+func (r *Runner) Compile(src string) (*confvalley.Program, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lastProg != nil && src == r.lastSrc {
+		return r.lastProg, nil
+	}
+	prog, err := r.session.Compile(src)
+	if err != nil {
+		return nil, &SpecError{Err: err}
+	}
+	r.lastSrc, r.lastProg = src, prog
+	return prog, nil
+}
+
+// Run executes one job: load the job's sources and payloads into a
+// fresh store, resolve the program, validate against that store's
+// sealed snapshot, and publish the store to the session. The store is
+// swapped in *before* validation (matching cvcheck's historical
+// ordering) but validation pins the job's own store explicitly, so
+// concurrent runs each see exactly the data they loaded no matter how
+// the swaps interleave.
+func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
+	if r.opts.LoadTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opts.LoadTimeout)
+		defer cancel()
+	}
+
+	st := confvalley.NewStore()
+	var dataRep *confvalley.LoadReport
+	if sources := r.ingestSources(job); len(sources) > 0 {
+		dataRep = r.loader.Load(ctx, st, sources)
+	}
+
+	prog := job.Prog
+	if prog == nil {
+		src := job.SpecSrc
+		if job.SpecPath != "" {
+			b, err := os.ReadFile(job.SpecPath)
+			if err != nil {
+				return nil, &SpecError{Err: err}
+			}
+			src = string(b)
+		}
+		var err error
+		if prog, err = r.Compile(src); err != nil {
+			return nil, err
+		}
+	}
+
+	r.session.SwapStore(st)
+	rep, specLoads, err := r.session.RunProgram(ctx, prog, st)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Report: rep, Data: dataRep, Program: prog}
+	if len(prog.Loads) > 0 {
+		res.SpecLoads = specLoads
+	}
+	return res, nil
+}
+
+// ingestSources merges the job's file/REST sources and in-memory
+// payloads into one loader batch, payloads last so their accounting
+// renders after the flag-ordered sources, matching cvcheck output.
+func (r *Runner) ingestSources(job Job) []confvalley.Source {
+	out := make([]confvalley.Source, 0, len(job.Sources)+len(job.Payloads))
+	out = append(out, job.Sources...)
+	for _, p := range job.Payloads {
+		data := p.Data
+		out = append(out, confvalley.Source{
+			Name:   p.Name,
+			Format: p.Format,
+			Scope:  p.Scope,
+			Fetch:  func(context.Context) ([]byte, error) { return data, nil },
+		})
+	}
+	return out
+}
+
+// ParseSourceArg parses a CLI source argument of the form
+// format:path[:scope] — the -data flag syntax shared by cvcheck and
+// cvcall. Paths may contain colons on Windows-style shares, so the
+// format is taken from the first colon and the scope from the last
+// only when it looks like a scope (no slashes or dots).
+func ParseSourceArg(arg string) (confvalley.Source, error) {
+	i := strings.IndexByte(arg, ':')
+	if i <= 0 {
+		return confvalley.Source{}, fmt.Errorf("bad source %q; want format:path[:scope]", arg)
+	}
+	format, rest := arg[:i], arg[i+1:]
+	if j := strings.LastIndexByte(rest, ':'); j > 0 {
+		tail := rest[j+1:]
+		if tail != "" && !strings.ContainsAny(tail, `/\.`) {
+			return confvalley.Source{Name: rest[:j], Format: format, Scope: tail}, nil
+		}
+	}
+	return confvalley.Source{Name: rest, Format: format}, nil
+}
+
+// Forget drops a source's retained last-good parse, for sources
+// administratively removed between rounds.
+func (r *Runner) Forget(name string) { r.loader.Forget(name) }
+
+// String renders the options compactly for logs.
+func (o Options) String() string {
+	return fmt.Sprintf("parallel=%d stop=%t interpret=%t incremental=%t strict=%t max-stale=%d load-timeout=%s",
+		o.Parallel, o.StopOnFirst, o.Interpret, o.Incremental, o.Strict, o.MaxStale, o.LoadTimeout)
+}

@@ -1,0 +1,190 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"confvalley"
+)
+
+func TestRunPayloadsOnly(t *testing.T) {
+	r := New(Options{})
+	res, err := r.Run(context.Background(), Job{
+		SpecSrc:  "$app.timeout -> int & [1, 60]",
+		Payloads: []Payload{{Name: "app.kv", Format: "kv", Data: []byte("app.timeout = 30\n")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Passed() || res.Code() != 0 {
+		t.Errorf("clean run: passed=%t code=%d", res.Report.Passed(), res.Code())
+	}
+	if res.SourcesTotal() != 1 || res.SourcesQuarantined() != 0 {
+		t.Errorf("accounting: total=%d quarantined=%d", res.SourcesTotal(), res.SourcesQuarantined())
+	}
+}
+
+func TestRunViolationCode(t *testing.T) {
+	r := New(Options{})
+	res, err := r.Run(context.Background(), Job{
+		SpecSrc:  "$app.timeout -> int & [1, 60]",
+		Payloads: []Payload{{Name: "app.kv", Format: "kv", Data: []byte("app.timeout = 400\n")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code() != 1 || len(res.Report.Violations) != 1 {
+		t.Errorf("violating run: code=%d violations=%d", res.Code(), len(res.Report.Violations))
+	}
+}
+
+func TestRunAllSourcesFailedCode(t *testing.T) {
+	r := New(Options{})
+	res, err := r.Run(context.Background(), Job{
+		SpecSrc: "$app.timeout -> int",
+		Sources: []confvalley.Source{{Name: filepath.Join(t.TempDir(), "absent.json"), Format: "json"}},
+		Payloads: []Payload{
+			{Name: "torn.json", Format: "json", Data: []byte(`{"app":`)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllSourcesFailed() || res.Code() != 3 {
+		t.Errorf("all-failed run: allFailed=%t code=%d", res.AllSourcesFailed(), res.Code())
+	}
+}
+
+func TestRunSpecErrors(t *testing.T) {
+	r := New(Options{})
+	_, err := r.Run(context.Background(), Job{SpecSrc: "$$ not cpl"})
+	var se *SpecError
+	if !errors.As(err, &se) {
+		t.Errorf("compile failure returned %v, want *SpecError", err)
+	}
+	_, err = r.Run(context.Background(), Job{SpecPath: filepath.Join(t.TempDir(), "absent.cpl")})
+	if !errors.As(err, &se) {
+		t.Errorf("missing spec file returned %v, want *SpecError", err)
+	}
+}
+
+// Identical spec source across runs returns the identical *Program —
+// the identity the plan cache and incremental splicing key on.
+func TestCompileCacheStability(t *testing.T) {
+	r := New(Options{})
+	job := Job{
+		SpecSrc:  "$app.timeout -> int",
+		Payloads: []Payload{{Name: "app.kv", Format: "kv", Data: []byte("app.timeout = 30\n")}},
+	}
+	res1, err := r.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Program != res2.Program {
+		t.Error("identical source recompiled: program identity lost across rounds")
+	}
+	res3, err := r.Run(context.Background(), Job{SpecSrc: "$app.timeout -> string", Payloads: job.Payloads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Program == res1.Program {
+		t.Error("changed source served the stale cached program")
+	}
+}
+
+// A spec-file load command contributes to the source accounting, and a
+// spec whose every source fails exits 3 — the cvcheck contract, now
+// enforced at the runner layer.
+func TestRunSpecLoadAccounting(t *testing.T) {
+	dir := t.TempDir()
+	torn := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(torn, []byte(`{"app":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{})
+	res, err := r.Run(context.Background(), Job{
+		SpecSrc: "load 'json' '" + torn + "'\n$app.timeout -> int\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecLoads == nil || len(res.SpecLoads.Outcomes) != 1 {
+		t.Fatalf("spec load accounting missing: %+v", res.SpecLoads)
+	}
+	if res.Code() != 3 {
+		t.Errorf("spec-load-failed run code = %d, want 3", res.Code())
+	}
+}
+
+// The loader persists across runs: a source torn in round 2 is served
+// from round 1's parse.
+func TestRunServesStaleAcrossRounds(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "d.json")
+	if err := os.WriteFile(data, []byte(`{"app": {"timeout": "30"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{})
+	job := Job{
+		SpecSrc: "$app.timeout -> int & [1, 60]",
+		Sources: []confvalley.Source{{Name: data, Format: "json"}},
+	}
+	if res, err := r.Run(context.Background(), job); err != nil || res.Code() != 0 {
+		t.Fatalf("round 1: res=%+v err=%v", res, err)
+	}
+	if err := os.WriteFile(data, []byte(`{"app":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Code() != 0 || res.Data.Stale() != 1 {
+		t.Errorf("round 2 should serve stale: code=%d stale=%d", res.Code(), res.Data.Stale())
+	}
+}
+
+// Concurrent runs on one runner each validate exactly the data their
+// own job loaded: the explicit-store seam prevents one run's swap from
+// leaking into another's validation. Run with -race.
+func TestConcurrentRunsIsolated(t *testing.T) {
+	r := New(Options{})
+	const workers = 8
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func(n int) {
+			val := []byte("app.id = " + strings.Repeat("7", n+1) + "\n")
+			job := Job{
+				// Each worker requires its own exact value, so any
+				// cross-contamination of stores fails validation.
+				SpecSrc:  "$app.id -> {'" + strings.Repeat("7", n+1) + "'}",
+				Payloads: []Payload{{Name: "app.kv", Format: "kv", Data: val}},
+			}
+			for round := 0; round < 20; round++ {
+				res, err := r.Run(context.Background(), job)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Report.Passed() {
+					errs <- errors.New("worker saw another worker's data: " + res.Report.Violations[0].String())
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

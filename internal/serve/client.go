@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is the thin Go client cvcall wraps: one method per endpoint,
+// JSON in and out, typed errors reconstructed from the server's status
+// mapping so callers can errors.Is them exactly like local serve calls.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:7777".
+	Base string
+	// Tenant scopes every spec operation.
+	Tenant string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(parts ...string) string {
+	return strings.TrimSuffix(c.Base, "/") + "/" + strings.Join(parts, "/")
+}
+
+// do issues one request and decodes the JSON response into out (when
+// non-nil), converting error statuses back into the serve package's
+// typed errors.
+func (c *Client) do(ctx context.Context, method, url string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			return fmt.Errorf("%w: %s", ErrNotFound, msg)
+		case http.StatusTooManyRequests:
+			return fmt.Errorf("%w: %s", ErrBusy, msg)
+		case http.StatusForbidden:
+			return fmt.Errorf("%w: %s", ErrQuota, msg)
+		case http.StatusRequestEntityTooLarge:
+			return fmt.Errorf("%w: %s", ErrTooLarge, msg)
+		case http.StatusBadRequest:
+			return &BadSpecError{Err: fmt.Errorf("%s", msg)}
+		default:
+			return fmt.Errorf("serve: %s: %s", resp.Status, msg)
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Register uploads CPL source under the given spec name.
+func (c *Client) Register(ctx context.Context, spec, src string) (SpecInfo, error) {
+	var info SpecInfo
+	err := c.do(ctx, http.MethodPut, c.url("v1", "tenants", c.Tenant, "specs", spec), strings.NewReader(src), &info)
+	return info, err
+}
+
+// ListSpecs returns the tenant's registered specs.
+func (c *Client) ListSpecs(ctx context.Context) ([]SpecInfo, error) {
+	var infos []SpecInfo
+	err := c.do(ctx, http.MethodGet, c.url("v1", "tenants", c.Tenant, "specs"), nil, &infos)
+	return infos, err
+}
+
+// Delete removes one registered spec.
+func (c *Client) Delete(ctx context.Context, spec string) error {
+	return c.do(ctx, http.MethodDelete, c.url("v1", "tenants", c.Tenant, "specs", spec), nil, nil)
+}
+
+// Validate submits payloads/sources against a registered spec.
+func (c *Client) Validate(ctx context.Context, spec string, req ValidateRequest) (*ValidateResponse, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp ValidateResponse
+	if err := c.do(ctx, http.MethodPost, c.url("v1", "tenants", c.Tenant, "specs", spec, "validate"), bytes.NewReader(b), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// LastReport fetches the most recent validate response for a spec.
+func (c *Client) LastReport(ctx context.Context, spec string) (*ValidateResponse, error) {
+	var resp ValidateResponse
+	if err := c.do(ctx, http.MethodGet, c.url("v1", "tenants", c.Tenant, "specs", spec, "report"), nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches the health endpoint.
+func (c *Client) Health(ctx context.Context) (HealthInfo, error) {
+	var h HealthInfo
+	err := c.do(ctx, http.MethodGet, c.url("healthz"), nil, &h)
+	return h, err
+}
+
+// Stats fetches the stats endpoint.
+func (c *Client) Stats(ctx context.Context) (StatsInfo, error) {
+	var s StatsInfo
+	err := c.do(ctx, http.MethodGet, c.url("statsz"), nil, &s)
+	return s, err
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// Handler builds the HTTP/JSON transport over the service core. The
+// API is deliberately small and versioned under /v1:
+//
+//	GET    /healthz                                     liveness + version
+//	GET    /statsz                                      service counters
+//	PUT    /v1/tenants/{tenant}/specs/{spec}            register CPL (body = source)
+//	GET    /v1/tenants/{tenant}/specs                   list registered specs
+//	DELETE /v1/tenants/{tenant}/specs/{spec}            delete one spec
+//	POST   /v1/tenants/{tenant}/specs/{spec}/validate   validate payloads/sources
+//	GET    /v1/tenants/{tenant}/specs/{spec}/report     last validate response
+//
+// Errors are JSON objects {"error": "..."} with the mapped status:
+// 400 bad input or CPL compile failure, 403 count quota exceeded,
+// 404 unknown tenant/spec, 413 byte-size quota, 429 admission overflow
+// (all validation slots and the wait queue are full — retry later).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Health())
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("PUT /v1/tenants/{tenant}/specs/{spec}", func(w http.ResponseWriter, r *http.Request) {
+		src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.Quotas.MaxSpecBytes+1))
+		if err != nil {
+			writeError(w, ErrTooLarge)
+			return
+		}
+		info, err := s.RegisterSpec(r.PathValue("tenant"), r.PathValue("spec"), string(src))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+	mux.HandleFunc("GET /v1/tenants/{tenant}/specs", func(w http.ResponseWriter, r *http.Request) {
+		infos, err := s.ListSpecs(r.PathValue("tenant"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, infos)
+	})
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}/specs/{spec}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.DeleteSpec(r.PathValue("tenant"), r.PathValue("spec")); err != nil {
+			writeError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/tenants/{tenant}/specs/{spec}/validate", func(w http.ResponseWriter, r *http.Request) {
+		// The decode bound leaves headroom over the payload quota for
+		// JSON framing; the precise byte quota is enforced in Validate.
+		body := http.MaxBytesReader(w, r.Body, 2*s.cfg.Quotas.MaxPayloadBytes+(1<<20))
+		var req ValidateRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errBody("decoding request body: "+err.Error()))
+			return
+		}
+		resp, err := s.Validate(r.Context(), r.PathValue("tenant"), r.PathValue("spec"), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/tenants/{tenant}/specs/{spec}/report", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := s.LastReport(r.PathValue("tenant"), r.PathValue("spec"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func errBody(msg string) errorBody { return errorBody{Error: msg} }
+
+// writeError maps the service core's typed errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var badSpec *BadSpecError
+	switch {
+	case errors.As(err, &badSpec):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrBadName):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrTooLarge):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrQuota):
+		status = http.StatusForbidden
+	case errors.Is(err, ErrBusy):
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, errBody(err.Error()))
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}

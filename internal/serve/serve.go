@@ -1,0 +1,511 @@
+// Package serve is ConfValley's validation-as-a-service core: the
+// multi-tenant state, quota and admission-control layer between the
+// HTTP transport (cmd/cvserve) and the shared runner pipeline
+// (internal/runner). The paper's deployment is a service teams submit
+// specification programs and configuration payloads to, not a one-shot
+// CLI; this package gives each tenant an isolated spec-program
+// registry and a pinned session whose store is atomically swapped per
+// request, so concurrent requests — across tenants and within one —
+// each validate against exactly the snapshot their own payloads built.
+//
+// The layering is strict: serve knows nothing about HTTP status codes
+// (http.go maps its typed errors), and nothing in here forks off the
+// CLI's behavior — a Validate call is a runner.Job, the same structure
+// cvcheck submits per round.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"confvalley"
+	"confvalley/internal/ingest"
+	"confvalley/internal/report"
+	"confvalley/internal/runner"
+)
+
+// Typed failures; the HTTP layer maps them onto status codes.
+var (
+	// ErrBusy: admission control rejected the request — every validation
+	// slot is taken and the wait queue is full (or the wait timed out).
+	ErrBusy = errors.New("serve: server at capacity, retry later")
+	// ErrNotFound: unknown tenant or spec.
+	ErrNotFound = errors.New("serve: not found")
+	// ErrQuota: a per-tenant count quota (tenants, specs, sources) would
+	// be exceeded.
+	ErrQuota = errors.New("serve: quota exceeded")
+	// ErrTooLarge: a byte-size quota (spec source, payload bytes) would
+	// be exceeded.
+	ErrTooLarge = errors.New("serve: payload too large")
+	// ErrBadName: tenant or spec name outside the allowed alphabet.
+	ErrBadName = errors.New("serve: bad name")
+)
+
+// BadSpecError wraps a CPL compile failure: the client's spec is at
+// fault, not the server.
+type BadSpecError struct{ Err error }
+
+func (e *BadSpecError) Error() string { return e.Err.Error() }
+func (e *BadSpecError) Unwrap() error { return e.Err }
+
+// Quotas bounds what one tenant may hold and one request may carry.
+// Zero values mean "use the default", not "unlimited": a service with
+// no limits is one misbehaving client away from eviction.
+type Quotas struct {
+	// MaxTenants bounds distinct tenants the server will create.
+	MaxTenants int
+	// MaxSpecs bounds registered specs per tenant.
+	MaxSpecs int
+	// MaxSpecBytes bounds one registered spec's CPL source size.
+	MaxSpecBytes int64
+	// MaxSources bounds payloads+sources in one validate request.
+	MaxSources int
+	// MaxPayloadBytes bounds the total payload bytes of one request.
+	MaxPayloadBytes int64
+}
+
+// DefaultQuotas are deliberately generous single-box defaults.
+func DefaultQuotas() Quotas {
+	return Quotas{
+		MaxTenants:      64,
+		MaxSpecs:        128,
+		MaxSpecBytes:    1 << 20, // 1 MiB of CPL
+		MaxSources:      64,
+		MaxPayloadBytes: 32 << 20, // 32 MiB of configuration per request
+	}
+}
+
+func (q Quotas) withDefaults() Quotas {
+	d := DefaultQuotas()
+	if q.MaxTenants == 0 {
+		q.MaxTenants = d.MaxTenants
+	}
+	if q.MaxSpecs == 0 {
+		q.MaxSpecs = d.MaxSpecs
+	}
+	if q.MaxSpecBytes == 0 {
+		q.MaxSpecBytes = d.MaxSpecBytes
+	}
+	if q.MaxSources == 0 {
+		q.MaxSources = d.MaxSources
+	}
+	if q.MaxPayloadBytes == 0 {
+		q.MaxPayloadBytes = d.MaxPayloadBytes
+	}
+	return q
+}
+
+// Config assembles a server.
+type Config struct {
+	Quotas Quotas
+	// MaxConcurrent bounds validations running at once (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot beyond which new ones
+	// are rejected with ErrBusy (default 2×MaxConcurrent).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot
+	// before ErrBusy (default 10s).
+	QueueWait time.Duration
+	// Runner configures each tenant's validation pipeline (parallelism,
+	// incremental mode, staleness policy).
+	Runner runner.Options
+}
+
+// nameRE is the tenant/spec name alphabet: filesystem- and URL-safe.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// Server is the multi-tenant validation service.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+
+	// sem holds one token per in-flight validation; queued counts
+	// requests waiting for a token.
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// Cumulative counters for the stats endpoint.
+	validations  atomic.Int64
+	violations   atomic.Int64
+	rejectedBusy atomic.Int64
+	denied       atomic.Int64 // quota / size / name rejections
+}
+
+// New returns a server with cfg's gaps filled by defaults.
+func New(cfg Config) *Server {
+	cfg.Quotas = cfg.Quotas.withDefaults()
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 2 * cfg.MaxConcurrent
+	}
+	if cfg.QueueWait == 0 {
+		cfg.QueueWait = 10 * time.Second
+	}
+	return &Server{
+		cfg:     cfg,
+		start:   time.Now(),
+		tenants: make(map[string]*tenant),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// acquire implements admission control: take a validation slot
+// immediately if one is free; otherwise join the bounded wait queue.
+// A full queue — or a wait exceeding QueueWait — rejects with ErrBusy
+// so clients shed load instead of piling up.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	release = func() { <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.rejectedBusy.Add(1)
+		return nil, ErrBusy
+	}
+	defer s.queued.Add(-1)
+	timer := time.NewTimer(s.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	case <-timer.C:
+		s.rejectedBusy.Add(1)
+		return nil, ErrBusy
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// tenantFor returns the named tenant, creating it (within MaxTenants)
+// when create is set.
+func (s *Server) tenantFor(name string, create bool) (*tenant, error) {
+	if !nameRE.MatchString(name) {
+		s.denied.Add(1)
+		return nil, fmt.Errorf("%w: tenant %q", ErrBadName, name)
+	}
+	s.mu.RLock()
+	t := s.tenants[name]
+	s.mu.RUnlock()
+	if t != nil {
+		return t, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w: tenant %q", ErrNotFound, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t = s.tenants[name]; t != nil {
+		return t, nil
+	}
+	if len(s.tenants) >= s.cfg.Quotas.MaxTenants {
+		s.denied.Add(1)
+		return nil, fmt.Errorf("%w: tenant limit %d reached", ErrQuota, s.cfg.Quotas.MaxTenants)
+	}
+	t = newTenant(name, s.cfg.Runner)
+	s.tenants[name] = t
+	return t, nil
+}
+
+// RegisterSpec compiles and stores a CPL program under (tenant, name),
+// creating the tenant on first use. Re-registering a name replaces its
+// program. The compiled program is retained, so validate requests skip
+// compilation and plan lowering entirely — and program identity is
+// stable across requests, which keeps the plan cache and incremental
+// splice state hot.
+func (s *Server) RegisterSpec(tenantName, specName, src string) (SpecInfo, error) {
+	if int64(len(src)) > s.cfg.Quotas.MaxSpecBytes {
+		s.denied.Add(1)
+		return SpecInfo{}, fmt.Errorf("%w: spec %d bytes > limit %d", ErrTooLarge, len(src), s.cfg.Quotas.MaxSpecBytes)
+	}
+	t, err := s.tenantFor(tenantName, true)
+	if err != nil {
+		return SpecInfo{}, err
+	}
+	if !nameRE.MatchString(specName) {
+		s.denied.Add(1)
+		return SpecInfo{}, fmt.Errorf("%w: spec %q", ErrBadName, specName)
+	}
+	info, err := t.register(specName, src, s.cfg.Quotas.MaxSpecs)
+	if err != nil {
+		if errors.Is(err, ErrQuota) {
+			s.denied.Add(1)
+		}
+		return SpecInfo{}, err
+	}
+	return info, nil
+}
+
+// ListSpecs returns the tenant's registered specs, name-sorted.
+func (s *Server) ListSpecs(tenantName string) ([]SpecInfo, error) {
+	t, err := s.tenantFor(tenantName, false)
+	if err != nil {
+		return nil, err
+	}
+	return t.list(), nil
+}
+
+// DeleteSpec removes one registered spec.
+func (s *Server) DeleteSpec(tenantName, specName string) error {
+	t, err := s.tenantFor(tenantName, false)
+	if err != nil {
+		return err
+	}
+	return t.delete(specName)
+}
+
+// Validate runs one registered spec against the request's payloads and
+// source pointers under admission control, returning the wire-format
+// report plus load accounting. The run goes through the tenant's
+// runner — the identical code path cvcheck uses — so a report obtained
+// here matches the CLI's for the same inputs.
+func (s *Server) Validate(ctx context.Context, tenantName, specName string, req ValidateRequest) (*ValidateResponse, error) {
+	t, err := s.tenantFor(tenantName, false)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := t.spec(specName)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkRequestQuotas(req); err != nil {
+		return nil, err
+	}
+
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	job := runner.Job{Prog: entry.prog}
+	for _, p := range req.Payloads {
+		job.Payloads = append(job.Payloads, runner.Payload{
+			Name: p.Name, Format: p.Format, Scope: p.Scope, Data: []byte(p.Data),
+		})
+	}
+	for _, src := range req.Sources {
+		job.Sources = append(job.Sources, confvalley.Source{
+			Name: src.Name, Format: src.Format, Scope: src.Scope,
+		})
+	}
+	res, err := t.runner.Run(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	s.validations.Add(1)
+	s.violations.Add(int64(len(res.Report.Violations)))
+	resp := &ValidateResponse{
+		Tenant:           tenantName,
+		Spec:             specName,
+		Report:           res.Report.Wire(),
+		Load:             res.Data,
+		SpecLoads:        res.SpecLoads,
+		AllSourcesFailed: res.AllSourcesFailed(),
+		Code:             res.Code(),
+	}
+	entry.lastResp.Store(resp)
+	return resp, nil
+}
+
+// checkRequestQuotas enforces the per-request source-count and
+// payload-byte bounds.
+func (s *Server) checkRequestQuotas(req ValidateRequest) error {
+	q := s.cfg.Quotas
+	if n := len(req.Payloads) + len(req.Sources); n > q.MaxSources {
+		s.denied.Add(1)
+		return fmt.Errorf("%w: %d sources > limit %d", ErrQuota, n, q.MaxSources)
+	}
+	var bytes int64
+	for _, p := range req.Payloads {
+		bytes += int64(len(p.Data))
+	}
+	if bytes > q.MaxPayloadBytes {
+		s.denied.Add(1)
+		return fmt.Errorf("%w: %d payload bytes > limit %d", ErrTooLarge, bytes, q.MaxPayloadBytes)
+	}
+	return nil
+}
+
+// LastReport returns the most recent ValidateResponse for one spec, or
+// ErrNotFound when it has never been validated.
+func (s *Server) LastReport(tenantName, specName string) (*ValidateResponse, error) {
+	t, err := s.tenantFor(tenantName, false)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := t.spec(specName)
+	if err != nil {
+		return nil, err
+	}
+	resp := entry.lastResp.Load()
+	if resp == nil {
+		return nil, fmt.Errorf("%w: spec %q has no report yet", ErrNotFound, specName)
+	}
+	return resp, nil
+}
+
+// Health summarizes liveness for the health endpoint.
+func (s *Server) Health() HealthInfo {
+	s.mu.RLock()
+	tenants := len(s.tenants)
+	s.mu.RUnlock()
+	return HealthInfo{
+		Status:        "ok",
+		Version:       confvalley.Version,
+		SchemaVersion: report.SchemaVersion,
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Tenants:       tenants,
+		InFlight:      len(s.sem),
+		Queued:        int(s.queued.Load()),
+	}
+}
+
+// Stats aggregates the service and per-tenant counters: admission and
+// quota decisions, cumulative validations, the global plan cache, and
+// each tenant's current-store discovery counters plus last load
+// accounting — the counters the multi-core load harness (ROADMAP) will
+// watch while it drives this server.
+func (s *Server) Stats() StatsInfo {
+	hits, misses := confvalley.PlanCacheStats()
+	info := StatsInfo{
+		Validations:     s.validations.Load(),
+		Violations:      s.violations.Load(),
+		RejectedBusy:    s.rejectedBusy.Load(),
+		QuotaDenied:     s.denied.Load(),
+		InFlight:        len(s.sem),
+		Queued:          int(s.queued.Load()),
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		s.mu.RLock()
+		t := s.tenants[name]
+		s.mu.RUnlock()
+		if t == nil {
+			continue
+		}
+		ts := TenantStats{Name: name, Specs: len(t.list())}
+		st := t.runner.Session().Store()
+		ts.DiscoveryQueries = st.Stats.Queries()
+		ts.DiscoveryCacheHits = st.Stats.CacheHits()
+		ts.DiscoveryScanned = st.Stats.Scanned()
+		if lr := t.runner.Session().LastLoadReport(); lr != nil {
+			ts.SourcesLoaded = lr.Loaded()
+			ts.SourcesStale = lr.Stale()
+			ts.SourcesQuarantined = lr.Quarantined()
+		}
+		info.Tenants = append(info.Tenants, ts)
+	}
+	return info
+}
+
+// HealthInfo is the health endpoint's body.
+type HealthInfo struct {
+	Status        string `json:"status"`
+	Version       string `json:"version"`
+	SchemaVersion int    `json:"schema_version"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Tenants       int    `json:"tenants"`
+	InFlight      int    `json:"in_flight"`
+	Queued        int    `json:"queued"`
+}
+
+// StatsInfo is the stats endpoint's body.
+type StatsInfo struct {
+	Validations     int64         `json:"validations"`
+	Violations      int64         `json:"violations"`
+	RejectedBusy    int64         `json:"rejected_busy"`
+	QuotaDenied     int64         `json:"quota_denied"`
+	InFlight        int           `json:"in_flight"`
+	Queued          int           `json:"queued"`
+	PlanCacheHits   uint64        `json:"plan_cache_hits"`
+	PlanCacheMisses uint64        `json:"plan_cache_misses"`
+	Tenants         []TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is one tenant's counter block.
+type TenantStats struct {
+	Name               string `json:"name"`
+	Specs              int    `json:"specs"`
+	DiscoveryQueries   int64  `json:"discovery_queries"`
+	DiscoveryCacheHits int64  `json:"discovery_cache_hits"`
+	DiscoveryScanned   int64  `json:"discovery_scanned"`
+	SourcesLoaded      int    `json:"sources_loaded"`
+	SourcesStale       int    `json:"sources_stale"`
+	SourcesQuarantined int    `json:"sources_quarantined"`
+}
+
+// ValidateRequest is the wire body of a validate call: in-memory
+// payloads and/or server-side source pointers.
+type ValidateRequest struct {
+	Payloads []PayloadRef `json:"payloads,omitempty"`
+	Sources  []SourceRef  `json:"sources,omitempty"`
+}
+
+// PayloadRef is one in-memory configuration source in a request.
+type PayloadRef struct {
+	Name   string `json:"name"`
+	Format string `json:"format,omitempty"`
+	Scope  string `json:"scope,omitempty"`
+	Data   string `json:"data"`
+}
+
+// SourceRef points at a source the *server* can reach (a file on its
+// filesystem or a REST endpoint), for co-located deployments.
+type SourceRef struct {
+	Name   string `json:"name"`
+	Format string `json:"format,omitempty"`
+	Scope  string `json:"scope,omitempty"`
+}
+
+// ValidateResponse is the wire body of a completed validation.
+type ValidateResponse struct {
+	Tenant string `json:"tenant"`
+	Spec   string `json:"spec"`
+	// Report is the versioned wire report, identical to what cvcheck
+	// -json emits for the same inputs.
+	Report *report.Wire `json:"report"`
+	// Load accounts for the request's payloads and sources.
+	Load *ingest.LoadReport `json:"load,omitempty"`
+	// SpecLoads accounts for load commands inside the spec itself.
+	SpecLoads *ingest.LoadReport `json:"spec_loads,omitempty"`
+	// AllSourcesFailed mirrors cvcheck's exit-3 condition.
+	AllSourcesFailed bool `json:"all_sources_failed,omitempty"`
+	// Code is the run's exit-code contract value (0 clean, 1
+	// violations, 3 all sources failed), so thin clients exit with it
+	// directly.
+	Code int `json:"code"`
+}
+
+// SpecInfo describes one registered spec.
+type SpecInfo struct {
+	Name  string `json:"name"`
+	Bytes int    `json:"bytes"`
+	// Specs is the number of specification statements in the compiled
+	// program.
+	Specs int `json:"specs"`
+	// HasReport reports whether the spec has been validated at least
+	// once (a last report is available).
+	HasReport bool `json:"has_report"`
+}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"confvalley/internal/runner"
+)
+
+func testClient(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv := New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, &Client{Base: hs.URL, Tenant: "acme", HTTP: hs.Client()}
+}
+
+const timeoutSpec = "$app.timeout -> int & [1, 60]"
+
+func TestServiceLifecycle(t *testing.T) {
+	_, c := testClient(t, Config{})
+	ctx := context.Background()
+
+	info, err := c.Register(ctx, "timeout", timeoutSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "timeout" || info.Specs != 1 || info.HasReport {
+		t.Errorf("register info = %+v", info)
+	}
+
+	infos, err := c.ListSpecs(ctx)
+	if err != nil || len(infos) != 1 || infos[0].Name != "timeout" {
+		t.Fatalf("list = %+v, %v", infos, err)
+	}
+
+	resp, err := c.Validate(ctx, "timeout", ValidateRequest{
+		Payloads: []PayloadRef{{Name: "app.kv", Format: "kv", Data: "app.timeout = 400\n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != 1 || len(resp.Report.Violations) != 1 || resp.Report.Passed {
+		t.Errorf("validate response = code %d, %d violations, passed %t",
+			resp.Code, len(resp.Report.Violations), resp.Report.Passed)
+	}
+	if resp.Load == nil || len(resp.Load.Outcomes) != 1 {
+		t.Errorf("load accounting missing: %+v", resp.Load)
+	}
+
+	got, err := c.LastReport(ctx, "timeout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Report.Violations[0].Key != resp.Report.Violations[0].Key {
+		t.Errorf("last report drifted from validate response")
+	}
+
+	if err := c.Delete(ctx, "timeout"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Validate(ctx, "timeout", ValidateRequest{}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("validate after delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	_, c := testClient(t, Config{})
+	ctx := context.Background()
+
+	var badSpec *BadSpecError
+	if _, err := c.Register(ctx, "bad", "$$ not cpl"); !errors.As(err, &badSpec) {
+		t.Errorf("compile failure over HTTP = %v, want BadSpecError", err)
+	}
+	if _, err := c.Register(ctx, "bad name!", timeoutSpec); !errors.As(err, &badSpec) {
+		t.Errorf("bad spec name = %v, want 400", err)
+	}
+	other := *c
+	other.Tenant = "ghost"
+	if _, err := other.ListSpecs(ctx); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown tenant list = %v, want ErrNotFound", err)
+	}
+	if _, err := c.Register(ctx, "ok", timeoutSpec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LastReport(ctx, "ok"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("report before any validate = %v, want ErrNotFound", err)
+	}
+}
+
+func TestServiceQuotas(t *testing.T) {
+	_, c := testClient(t, Config{Quotas: Quotas{
+		MaxSpecs:        1,
+		MaxSpecBytes:    256,
+		MaxSources:      2,
+		MaxPayloadBytes: 64,
+		MaxTenants:      1,
+	}})
+	ctx := context.Background()
+
+	if _, err := c.Register(ctx, "one", timeoutSpec); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing the same name is allowed; a second name trips MaxSpecs.
+	if _, err := c.Register(ctx, "one", timeoutSpec); err != nil {
+		t.Errorf("re-register same name = %v", err)
+	}
+	if _, err := c.Register(ctx, "two", timeoutSpec); !errors.Is(err, ErrQuota) {
+		t.Errorf("MaxSpecs overflow = %v, want ErrQuota", err)
+	}
+	if _, err := c.Register(ctx, "big", strings.Repeat("# comment\n", 100)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("MaxSpecBytes overflow = %v, want ErrTooLarge", err)
+	}
+
+	// Too many sources in one request.
+	req := ValidateRequest{Payloads: []PayloadRef{
+		{Name: "a.kv", Data: "a = 1\n"}, {Name: "b.kv", Data: "b = 1\n"}, {Name: "c.kv", Data: "c = 1\n"},
+	}}
+	if _, err := c.Validate(ctx, "one", req); !errors.Is(err, ErrQuota) {
+		t.Errorf("MaxSources overflow = %v, want ErrQuota", err)
+	}
+	// Too many payload bytes.
+	req = ValidateRequest{Payloads: []PayloadRef{{Name: "a.kv", Data: strings.Repeat("k = v\n", 32)}}}
+	if _, err := c.Validate(ctx, "one", req); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("MaxPayloadBytes overflow = %v, want ErrTooLarge", err)
+	}
+
+	// Tenant limit.
+	other := *c
+	other.Tenant = "second-tenant"
+	if _, err := other.Register(ctx, "s", timeoutSpec); !errors.Is(err, ErrQuota) {
+		t.Errorf("MaxTenants overflow = %v, want ErrQuota", err)
+	}
+}
+
+// Admission control: with every slot taken and the queue full, a
+// request is rejected immediately with 429; with a queue position free
+// it waits for a slot.
+func TestAdmissionControl(t *testing.T) {
+	srv, c := testClient(t, Config{MaxConcurrent: 1, MaxQueue: 1, QueueWait: 50 * time.Millisecond})
+	ctx := context.Background()
+	if _, err := c.Register(ctx, "s", timeoutSpec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the only slot and the only queue seat out-of-band.
+	srv.sem <- struct{}{}
+	srv.queued.Add(1)
+	_, err := c.Validate(ctx, "s", ValidateRequest{
+		Payloads: []PayloadRef{{Name: "a.kv", Data: "app.timeout = 1\n"}},
+	})
+	if !errors.Is(err, ErrBusy) {
+		t.Errorf("full queue = %v, want ErrBusy", err)
+	}
+	if srv.Stats().RejectedBusy == 0 {
+		t.Error("busy rejection not counted in stats")
+	}
+
+	// Queue seat free but slot held: the request waits QueueWait then
+	// rejects.
+	srv.queued.Add(-1)
+	start := time.Now()
+	if _, err := c.Validate(ctx, "s", ValidateRequest{}); !errors.Is(err, ErrBusy) {
+		t.Errorf("slot starvation = %v, want ErrBusy", err)
+	}
+	if waited := time.Since(start); waited < 40*time.Millisecond {
+		t.Errorf("rejected after %v without waiting QueueWait", waited)
+	}
+
+	// Slot released: the same request succeeds.
+	<-srv.sem
+	if _, err := c.Validate(ctx, "s", ValidateRequest{
+		Payloads: []PayloadRef{{Name: "a.kv", Data: "app.timeout = 1\n"}},
+	}); err != nil {
+		t.Errorf("validate after release = %v", err)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	_, c := testClient(t, Config{})
+	ctx := context.Background()
+	if _, err := c.Register(ctx, "s", timeoutSpec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Validate(ctx, "s", ValidateRequest{
+		Payloads: []PayloadRef{{Name: "a.kv", Data: "app.timeout = 400\n"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version == "" || h.Tenants != 1 || h.SchemaVersion < 1 {
+		t.Errorf("health = %+v", h)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Validations != 1 || st.Violations != 1 {
+		t.Errorf("stats counters = %+v", st)
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].Name != "acme" || st.Tenants[0].Specs != 1 {
+		t.Errorf("tenant stats = %+v", st.Tenants)
+	}
+	if st.Tenants[0].DiscoveryQueries == 0 {
+		t.Errorf("discovery counters not surfaced: %+v", st.Tenants[0])
+	}
+	if st.Tenants[0].SourcesLoaded != 0 && st.Tenants[0].SourcesQuarantined != 0 {
+		// Request payloads are accounted per-response; session-level load
+		// counters only cover the spec's own load commands.
+		t.Logf("tenant load counters: %+v", st.Tenants[0])
+	}
+}
+
+// runnerOptionsMatchServer guards the no-fork property at the options
+// level: a server built with a given runner.Options hands exactly those
+// options to every tenant.
+func TestTenantRunnerUsesConfiguredOptions(t *testing.T) {
+	srv := New(Config{Runner: runner.Options{Parallel: 3, MaxStale: 2}})
+	tn, err := srv.tenantFor("a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tn.runner.Session().Parallel; got != 3 {
+		t.Errorf("tenant session Parallel = %d, want 3", got)
+	}
+	if got := tn.runner.Session().MaxStale; got != 2 {
+		t.Errorf("tenant session MaxStale = %d, want 2", got)
+	}
+}

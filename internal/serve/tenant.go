@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"confvalley"
+	"confvalley/internal/runner"
+)
+
+// tenant is one isolated customer of the service: its own spec-program
+// registry and its own runner (hence its own session, store lineage,
+// degradation loader, and plan/incremental state). Nothing a tenant
+// registers or validates is visible to another tenant — isolation is
+// structural, not checked.
+type tenant struct {
+	name   string
+	runner *runner.Runner
+
+	mu    sync.RWMutex
+	specs map[string]*specEntry
+}
+
+// specEntry is one registered spec program plus its last validation.
+type specEntry struct {
+	name string
+	src  string
+	prog *confvalley.Program
+	// lastResp retains the most recent validate response; readers get
+	// it lock-free from the report endpoint.
+	lastResp atomic.Pointer[ValidateResponse]
+}
+
+func newTenant(name string, opts runner.Options) *tenant {
+	return &tenant{
+		name:   name,
+		runner: runner.New(opts),
+		specs:  make(map[string]*specEntry),
+	}
+}
+
+// register compiles and stores a spec under name, replacing any
+// previous program registered there.
+func (t *tenant) register(name, src string, maxSpecs int) (SpecInfo, error) {
+	prog, err := t.runner.Session().Compile(src)
+	if err != nil {
+		return SpecInfo{}, &BadSpecError{Err: err}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.specs[name]; !exists && len(t.specs) >= maxSpecs {
+		return SpecInfo{}, fmt.Errorf("%w: tenant %q spec limit %d reached", ErrQuota, t.name, maxSpecs)
+	}
+	entry := &specEntry{name: name, src: src, prog: prog}
+	t.specs[name] = entry
+	return entry.info(), nil
+}
+
+// spec returns one registered entry.
+func (t *tenant) spec(name string) (*specEntry, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	entry := t.specs[name]
+	if entry == nil {
+		return nil, fmt.Errorf("%w: spec %q", ErrNotFound, name)
+	}
+	return entry, nil
+}
+
+// list returns the registry name-sorted.
+func (t *tenant) list() []SpecInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]SpecInfo, 0, len(t.specs))
+	for _, entry := range t.specs {
+		out = append(out, entry.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// delete removes one registered spec.
+func (t *tenant) delete(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.specs[name]; !ok {
+		return fmt.Errorf("%w: spec %q", ErrNotFound, name)
+	}
+	delete(t.specs, name)
+	return nil
+}
+
+func (e *specEntry) info() SpecInfo {
+	return SpecInfo{
+		Name:      e.name,
+		Bytes:     len(e.src),
+		Specs:     len(e.prog.Specs),
+		HasReport: e.lastResp.Load() != nil,
+	}
+}

@@ -199,20 +199,37 @@ func (s *Session) ValidateProgram(prog *Program) (*Report, error) {
 // serve last-good stale data) instead of aborting; the load accounting
 // lands in LastLoadReport.
 func (s *Session) ValidateProgramContext(ctx context.Context, prog *Program) (*Report, error) {
+	rep, _, err := s.RunProgram(ctx, prog, s.store.Load())
+	return rep, err
+}
+
+// RunProgram is the context-first core every validation entry point —
+// and the service layer — shares: it executes a compiled program's load
+// commands into an explicit store, validates against that store's
+// sealed snapshot, and returns the report plus the per-source
+// accounting of the program's own load commands (nil when the program
+// has none or Degrade is off). Because the store is an argument rather
+// than the session field, concurrent callers validating different
+// stores never contaminate each other: each run pins the snapshot of
+// exactly the store it was handed, no matter how SwapStore calls
+// interleave. ValidateProgramContext is RunProgram on the session's
+// current store.
+func (s *Session) RunProgram(ctx context.Context, prog *Program, st *Store) (*Report, *LoadReport, error) {
+	var specLoads *LoadReport
 	if s.Degrade {
-		s.degradeLoads(ctx, prog)
+		specLoads = s.degradeLoads(ctx, prog, st)
 	} else {
 		for _, ld := range prog.Loads {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			if err := s.execLoad(ctx, ld); err != nil {
-				return nil, err
+			if err := s.execLoad(ctx, ld, st); err != nil {
+				return nil, nil, err
 			}
 		}
 	}
 	eng := &engine.Engine{
-		Store: s.store.Load(),
+		Store: st,
 		Env:   s.env,
 		Opts: engine.Options{
 			StopOnFirst: s.StopOnFirst,
@@ -221,7 +238,7 @@ func (s *Session) ValidateProgramContext(ctx context.Context, prog *Program) (*R
 		},
 	}
 	if !s.Incremental {
-		return eng.RunContext(ctx, prog), nil
+		return eng.RunContext(ctx, prog), specLoads, nil
 	}
 	var rep *report.Report
 	if last := s.last.Load(); last != nil && last.prog == prog {
@@ -234,17 +251,17 @@ func (s *Session) ValidateProgramContext(ctx context.Context, prog *Program) (*R
 		// An interrupted round's verdict set is incomplete: keep the
 		// previous round's state so the next incremental round splices
 		// from something sound.
-		return rep, nil
+		return rep, specLoads, nil
 	}
 	s.last.Store(&lastRun{prog: prog, snap: eng.PinnedSnapshot(), rep: rep})
-	return rep, nil
+	return rep, specLoads, nil
 }
 
 // degradeLoads executes the program's load commands through the
-// session's graceful-degradation loader.
-func (s *Session) degradeLoads(ctx context.Context, prog *Program) {
+// session's graceful-degradation loader into the given store.
+func (s *Session) degradeLoads(ctx context.Context, prog *Program, st *Store) *LoadReport {
 	if len(prog.Loads) == 0 {
-		return
+		return nil
 	}
 	l := s.loader.Load()
 	if l == nil {
@@ -257,7 +274,9 @@ func (s *Session) degradeLoads(ctx context.Context, prog *Program) {
 	for _, ld := range prog.Loads {
 		sources = append(sources, s.ingestSource(ld))
 	}
-	s.loadRep.Store(l.Load(ctx, s.store.Load(), sources))
+	rep := l.Load(ctx, st, sources)
+	s.loadRep.Store(rep)
+	return rep
 }
 
 // ingestSource maps one CPL load command to an ingest source: registered
@@ -287,7 +306,7 @@ func (s *Session) LastReport() *Report {
 	return nil
 }
 
-func (s *Session) execLoad(ctx context.Context, ld compiler.Load) error {
+func (s *Session) execLoad(ctx context.Context, ld compiler.Load, st *Store) error {
 	src := s.ingestSource(ld)
 	data, err := []byte(nil), error(nil)
 	if src.Fetch != nil {
@@ -309,7 +328,7 @@ func (s *Session) execLoad(ctx context.Context, ld compiler.Load) error {
 	if err != nil {
 		return err
 	}
-	s.store.Load().AddAll(ins)
+	st.AddAll(ins)
 	return nil
 }
 

@@ -1,0 +1,124 @@
+package confvalley
+
+// Races between SwapStore and the two validation entry points, the
+// concurrency contract the runner and the validation service are built
+// on: ValidateProgramContext pins whatever store is published when it
+// starts, and RunProgram pins exactly the store it is handed, no matter
+// how swaps interleave. Run with -race; the stress suite picks these up
+// by name.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSwapStoreDuringValidateProgramContext is the context-first twin
+// of TestSwapStoreDuringValidation: generations swap in while
+// cancellable validations run, and every report must see one internally
+// consistent generation — a run that read the pointer twice would mix
+// two and fail the `consistent` check.
+func TestSwapStoreDuringValidateProgramContext(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	s := NewSession()
+	s.SwapStore(swapGeneration(t, 0))
+	prog, err := s.Compile("$Cluster.Replicas -> int & consistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const generations = 40
+	var done atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for gen := 1; gen <= generations; gen++ {
+			if old := s.SwapStore(swapGeneration(t, gen)); old == nil {
+				t.Error("SwapStore returned nil previous store")
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runs := 0
+			for !done.Load() || runs == 0 {
+				rep, err := s.ValidateProgramContext(ctx, prog)
+				if err != nil {
+					t.Errorf("validate: %v", err)
+					return
+				}
+				if !rep.Passed() {
+					t.Errorf("validation saw a torn store generation: %v", rep.Violations)
+					return
+				}
+				if rep.InstancesChecked != 8 {
+					t.Errorf("checked %d instances, want 8 (partial snapshot)", rep.InstancesChecked)
+					return
+				}
+				runs++
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestConcurrentRunProgramIndependentStores drives RunProgram from many
+// goroutines, each with its own private store, while the published
+// session store churns underneath them. Each run must validate exactly
+// the store it was handed — the explicit-store seam that lets the
+// service run concurrent requests over one session without
+// cross-contamination. A run that fell back to the published pointer
+// would see a foreign generation and fail its equality bound.
+func TestConcurrentRunProgramIndependentStores(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	s := NewSession()
+	s.SwapStore(swapGeneration(t, 0))
+	ctx := context.Background()
+
+	const workers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(gen int) {
+			defer wg.Done()
+			// Each worker's spec accepts only its own generation value.
+			prog, err := s.Compile(fmt.Sprintf("$Cluster.Replicas -> int & [%d, %d]", gen, gen))
+			if err != nil {
+				t.Errorf("worker %d compile: %v", gen, err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				st := swapGeneration(t, gen)
+				// Publish the store too — the runner's ordering — so the
+				// session pointer is churning with every worker's data.
+				s.SwapStore(st)
+				rep, _, err := s.RunProgram(ctx, prog, st)
+				if err != nil {
+					t.Errorf("worker %d round %d: %v", gen, r, err)
+					return
+				}
+				if !rep.Passed() {
+					t.Errorf("worker %d round %d validated a foreign store: %v", gen, r, rep.Violations)
+					return
+				}
+				if rep.InstancesChecked != 8 {
+					t.Errorf("worker %d round %d checked %d instances, want 8", gen, r, rep.InstancesChecked)
+					return
+				}
+			}
+		}(w + 100) // distinct from the generations other tests use
+	}
+	wg.Wait()
+}
