@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build tier1 test bench plan-bench stress store-bench incremental-bench fault-bench fuzz-smoke bench-smoke e2e
+.PHONY: all build tier1 test bench plan-bench stress store-bench incremental-bench fault-bench load-bench fuzz-smoke bench-smoke e2e
 
 all: build
 
@@ -57,6 +57,10 @@ incremental-bench:
 fault-bench:
 	$(GO) run ./cmd/cvbench -run fault -full
 
+# Regenerate the throughput numbers recorded in BENCH_load.json.
+load-bench:
+	$(GO) run ./cmd/cvbench -run load -full
+
 # Short coverage-guided run of each driver fuzzer on top of the checked-in
 # seeds. Mirrors the CI "Fuzz smoke" step; a crasher fails the target.
 fuzz-smoke:
@@ -65,6 +69,9 @@ fuzz-smoke:
 	done
 
 # One iteration of every benchmark — compile/panic smoke, no timing
-# claims. Mirrors the CI "Bench smoke" step.
+# claims — plus a quick-scale pass of the load harness (both drivers and
+# the partition ablation run; the ablation's report-identity gate panics
+# on any divergence). Mirrors the CI "Bench smoke" step.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/cvbench -run load

@@ -1,4 +1,4 @@
-package confvalley
+package confvalley_test
 
 // Benchmarks regenerating each table and figure of the paper's evaluation
 // (§6). Each benchmark exercises the code path behind one artifact at a
@@ -9,6 +9,8 @@ package confvalley
 import (
 	"io"
 	"testing"
+
+	confvalley "confvalley"
 
 	"confvalley/internal/azuregen"
 	"confvalley/internal/compiler"
@@ -364,7 +366,7 @@ func BenchmarkCPLParser(b *testing.B) {
 func BenchmarkEndToEndSession(b *testing.B) {
 	data := azuregen.RenderINI(azuregen.GenerateC(1.0, 2015).Store)
 	for i := 0; i < b.N; i++ {
-		s := NewSession()
+		s := confvalley.NewSession()
 		if _, err := s.LoadData("ini", data, "c.ini", ""); err != nil {
 			b.Fatal(err)
 		}

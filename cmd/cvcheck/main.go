@@ -75,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		specPath    = fs.String("spec", "", "CPL specification file (required)")
-		parallel    = fs.Int("parallel", 1, "validate specifications in N parallel partitions")
+		parallel    = fs.Int("parallel", 0, "validate specifications in N parallel partitions (0 = one per hardware thread, 1 = sequential)")
 		stop        = fs.Bool("stop", false, "stop at the first violation")
 		asJSON      = fs.Bool("json", false, "emit the report as wire-format JSON")
 		watch       = fs.Duration("watch", 0, "revalidate at this interval when spec or data files change (0 = run once)")

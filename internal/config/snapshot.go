@@ -73,6 +73,25 @@ func (sn *Snapshot) Discover(p Pattern) []*Instance {
 	return copyResult(res)
 }
 
+// Count reports how many instances match the pattern. It goes through
+// the discovery cache like Discover but never copies the result set, so
+// callers that only need cardinality — the engine's cost-model
+// partitioner estimates per-spec work from footprint match counts —
+// pay no per-call allocation, and the entries they warm are exactly the
+// ones the subsequent validation run will hit.
+func (sn *Snapshot) Count(p Pattern) int {
+	keyStr := p.String()
+	slot := cacheSlot(keyStr)
+	sn.stats.addQuery(slot)
+	if hit, ok := sn.cache.get(slot, keyStr); ok {
+		sn.stats.addCacheHit(slot)
+		return len(hit)
+	}
+	res := sn.discover(p)
+	sn.cache.put(slot, keyStr, res)
+	return len(res)
+}
+
 func (sn *Snapshot) discover(p Pattern) []*Instance {
 	if len(p.Segs) == 0 || p.HasVars() {
 		return nil

@@ -51,8 +51,16 @@ type Options struct {
 	// the §5.2 ablation.
 	NaiveDiscovery bool
 	// Parallel > 1 splits the specifications into that many partitions
-	// validated concurrently (Table 8's P10 mode).
+	// validated concurrently (Table 8's P10 mode); 0 (the zero value) or
+	// a negative value uses one partition per hardware thread
+	// (runtime.GOMAXPROCS), and 1 forces sequential execution. The
+	// partition count is always clamped to the spec count. StopOnFirst
+	// runs stay sequential unless Parallel > 1 is set explicitly.
 	Parallel int
+	// Partition selects how parallel runs split specs across workers;
+	// the zero value is cost-model LPT bin-packing with round-robin
+	// fallback (see partition.go).
+	Partition PartitionStrategy
 	// Interpret evaluates the program by walking its AST instead of
 	// executing the lowered plan — the pre-lowering implementation, kept
 	// for the interpreted-vs-planned ablation and as a semantic oracle
@@ -102,8 +110,8 @@ func (e *Engine) RunContext(ctx context.Context, prog *compiler.Program) *report
 	e.ctx = ctx
 	e.snap = e.Store.Snapshot()
 	start := time.Now()
-	if e.Opts.Parallel > 1 {
-		rep := e.runParallel(prog)
+	if n := e.effectiveParallel(len(prog.Specs)); n > 1 {
+		rep := e.runParallel(prog, n)
 		rep.Duration = time.Since(start)
 		return rep
 	}
@@ -157,14 +165,14 @@ func (e *Engine) snapshot() *config.Snapshot {
 	return e.Store.Snapshot()
 }
 
-// runParallel partitions spec indexes round-robin and validates
+// runParallel partitions spec indexes by the configured strategy
+// (cost-model LPT by default; see partition.go) and validates
 // concurrently. Merged reports are deterministic: violations carry the
 // spec's execution position and report.Merge restores sequential order.
-func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
-	n := e.Opts.Parallel
-	parts := make([][]int, n)
-	for i := range prog.Specs {
-		parts[i%n] = append(parts[i%n], i)
+func (e *Engine) runParallel(prog *compiler.Program, n int) *report.Report {
+	idxs := make([]int, len(prog.Specs))
+	for i := range idxs {
+		idxs[i] = i
 	}
 	var runPart func(idxs []int, rep *report.Report)
 	if e.Opts.Interpret {
@@ -201,24 +209,32 @@ func (e *Engine) runParallel(prog *compiler.Program) *report.Report {
 			}
 		}
 	}
-	out := &report.Report{}
-	for _, r := range runParts(parts, runPart) {
-		out.Merge(r)
+	var p *plan.Plan
+	if !e.Opts.Interpret {
+		p = plan.For(prog)
 	}
-	return out
+	return runParts(e.partitionSpecs(p, idxs, n), runPart)
 }
 
+// reportPool recycles partition-local reports: a parallel run allocates
+// one report per partition per round, merges it and drops it, so watch
+// loops and service traffic churn violation slices and perSpec maps at
+// a rate the pool absorbs. Only partition-local reports ever enter the
+// pool — reports returned to callers are never recycled.
+var reportPool = sync.Pool{New: func() any { return new(report.Report) }}
+
 // runParts executes each partition in its own goroutine against its own
-// report and returns them in partition order; callers merge. Shared by
-// the full parallel path and the incremental subset path.
-func runParts(parts [][]int, runPart func(idxs []int, rep *report.Report)) []*report.Report {
+// pooled report and merges them in partition order. Shared by the full
+// parallel path and the incremental subset path.
+func runParts(parts [][]int, runPart func(idxs []int, rep *report.Report)) *report.Report {
 	reps := make([]*report.Report, len(parts))
 	var wg sync.WaitGroup
 	for i := range parts {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rep := &report.Report{}
+			rep := reportPool.Get().(*report.Report)
+			rep.Reset()
 			partStart := time.Now()
 			runPart(parts[i], rep)
 			rep.Duration = time.Since(partStart)
@@ -226,23 +242,31 @@ func runParts(parts [][]int, runPart func(idxs []int, rep *report.Report)) []*re
 		}(i)
 	}
 	wg.Wait()
-	return reps
+	out := &report.Report{}
+	for _, r := range reps {
+		out.Merge(r)
+		reportPool.Put(r)
+	}
+	return out
 }
 
 // PartitionTimes runs each of n partitions sequentially and reports each
-// partition's wall time; cvbench uses it for Table 8's P10 columns without
-// depending on the host's core count.
+// partition's wall time; cvbench uses it for Table 8's P10 columns — and
+// the load harness for the partition-strategy ablation's makespan —
+// without depending on the host's core count. Partitions follow
+// Opts.Partition, clamped to the spec count.
 func (e *Engine) PartitionTimes(prog *compiler.Program, n int) []time.Duration {
 	e.snap = e.Store.Snapshot()
-	parts := make([][]int, n)
-	for i := range prog.Specs {
-		parts[i%n] = append(parts[i%n], i)
+	idxs := make([]int, len(prog.Specs))
+	for i := range idxs {
+		idxs[i] = i
 	}
 	var p *plan.Plan
 	var rt *plan.Runtime
 	if !e.Opts.Interpret {
 		p, rt = plan.For(prog), e.runtime()
 	}
+	parts := e.partitionSpecs(p, idxs, n)
 	out := make([]time.Duration, 0, n)
 	for _, part := range parts {
 		rep := &report.Report{}
@@ -265,7 +289,7 @@ type evalCtx struct {
 	eng   *Engine
 	prog  *compiler.Program
 	spec  *compiler.Spec
-	seq   int // spec position in execution order, for violation tagging
+	seq   int               // spec position in execution order, for violation tagging
 	env   map[string]string // variable bindings ($CloudName, $_ handled separately)
 	group string            // current compartment instance prefix; "" = none
 	glen  int               // compartment prefix segment count

@@ -149,16 +149,24 @@ func TestRangeCartesianBounds(t *testing.T) {
 func TestPartitionTimes(t *testing.T) {
 	st := config.NewStore()
 	for i := 0; i < 30; i++ {
-		kv(st, "C"+string(rune('a'+i%5))+".V", "x")
+		comp := "C" + string(rune('a'+i%5))
+		kv(st, comp+".A", "1")
+		kv(st, comp+".B", "x")
+		kv(st, comp+".C", "true")
 	}
-	prog, err := compiler.Compile("$V -> int\n$V -> nonempty\n$V -> bool")
+	prog, err := compiler.Compile("$A -> int\n$B -> nonempty\n$C -> bool")
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(prog.Specs) != 3 {
+		t.Fatalf("specs = %d", len(prog.Specs))
+	}
 	eng := New(st)
+	// Asking for more partitions than specs clamps: 3 specs never produce
+	// an empty fourth partition.
 	times := eng.PartitionTimes(prog, 4)
-	if len(times) != 4 {
-		t.Fatalf("partitions = %d", len(times))
+	if len(times) != 3 {
+		t.Fatalf("partitions = %d, want clamped to 3 specs", len(times))
 	}
 	for i := 1; i < len(times); i++ {
 		if times[i] < times[i-1] {

@@ -119,21 +119,16 @@ func (e *Engine) RunIncrementalContext(ctx context.Context, prog *compiler.Progr
 }
 
 // runSubset executes the given spec indexes against the pinned
-// snapshot, reusing the parallel partition machinery (round-robin
-// partitions, deterministic Seq-ordered merge) when Opts.Parallel > 1.
+// snapshot, reusing the parallel partition machinery (the shared
+// partitioner, deterministic Seq-ordered merge) when the effective
+// parallelism exceeds one.
 func (e *Engine) runSubset(p *plan.Plan, idxs []int) *report.Report {
-	rep := &report.Report{}
 	if len(idxs) == 0 {
-		return rep
+		return &report.Report{}
 	}
 	rt := e.runtime()
-	if e.Opts.Parallel > 1 {
-		n := e.Opts.Parallel
-		parts := make([][]int, n)
-		for i, j := range idxs {
-			parts[i%n] = append(parts[i%n], j)
-		}
-		reps := runParts(parts, func(idxs []int, sub *report.Report) {
+	if n := e.effectiveParallel(len(idxs)); n > 1 {
+		return runParts(e.partitionSpecs(p, idxs, n), func(idxs []int, sub *report.Report) {
 			for _, j := range idxs {
 				if rt.Canceled() {
 					sub.Interrupted = true
@@ -145,11 +140,8 @@ func (e *Engine) runSubset(p *plan.Plan, idxs []int) *report.Report {
 				}
 			}
 		})
-		for _, r := range reps {
-			rep.Merge(r)
-		}
-		return rep
 	}
+	rep := &report.Report{}
 	for _, j := range idxs {
 		if rt.Canceled() {
 			rep.Interrupted = true

@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"confvalley/internal/compiler"
+	"confvalley/internal/plan"
+	"confvalley/internal/report"
+	"confvalley/internal/simenv"
+)
+
+func TestEffectiveParallel(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		parallel    int
+		stopOnFirst bool
+		nspecs      int
+		want        int
+	}{
+		{0, false, 100, procs},  // default: one worker per hardware thread
+		{-3, false, 100, procs}, // negative behaves like zero
+		{0, true, 100, 1},       // StopOnFirst stays sequential by default
+		{4, true, 100, 4},       // ...unless parallelism was asked for explicitly
+		{1, false, 100, 1},
+		{8, false, 3, 3}, // clamped to spec count
+		{8, false, 0, 1},
+	}
+	for _, c := range cases {
+		e := &Engine{Opts: Options{Parallel: c.parallel, StopOnFirst: c.stopOnFirst}}
+		if got := e.effectiveParallel(c.nspecs); got != c.want {
+			t.Errorf("effectiveParallel(parallel=%d stop=%t nspecs=%d) = %d, want %d",
+				c.parallel, c.stopOnFirst, c.nspecs, got, c.want)
+		}
+	}
+}
+
+// No strategy may ever produce an empty partition: every partition is a
+// goroutine, and a goroutine with no work is the bug this PR removes.
+func TestPartitionSpecsNeverEmpty(t *testing.T) {
+	for _, strat := range []PartitionStrategy{PartitionRoundRobin, PartitionCost} {
+		for _, nspecs := range []int{1, 2, 3, 7, 24} {
+			for _, n := range []int{1, 2, 3, 8, 50} {
+				idxs := make([]int, nspecs)
+				for i := range idxs {
+					idxs[i] = i
+				}
+				e := &Engine{Opts: Options{Partition: strat}}
+				parts := e.partitionSpecs(nil, idxs, n) // nil plan: round-robin path
+				wantParts := n
+				if wantParts > nspecs {
+					wantParts = nspecs
+				}
+				if len(parts) != wantParts {
+					t.Fatalf("%v nspecs=%d n=%d: %d partitions, want %d", strat, nspecs, n, len(parts), wantParts)
+				}
+				seen := 0
+				for _, p := range parts {
+					if len(p) == 0 {
+						t.Fatalf("%v nspecs=%d n=%d: empty partition", strat, nspecs, n)
+					}
+					seen += len(p)
+				}
+				if seen != nspecs {
+					t.Fatalf("%v nspecs=%d n=%d: %d specs partitioned, want %d", strat, nspecs, n, seen, nspecs)
+				}
+			}
+		}
+	}
+}
+
+// LPT must beat round-robin's pathological case — heavyweights landing
+// on one partition because their indexes share a residue class — and be
+// deterministic, with each partition in ascending order.
+func TestLPTPartitionBalance(t *testing.T) {
+	const n = 4
+	idxs := make([]int, 16)
+	costs := make([]int64, 16)
+	for i := range idxs {
+		idxs[i] = i
+		costs[i] = 1
+		if i%n == 0 { // indexes 0,4,8,12: all dealt to partition 0 by round-robin
+			costs[i] = 1000
+		}
+	}
+	lpt := lptPartition(idxs, costs, n)
+	again := lptPartition(idxs, costs, n)
+	if fmt.Sprint(lpt) != fmt.Sprint(again) {
+		t.Fatalf("lptPartition not deterministic: %v vs %v", lpt, again)
+	}
+	for _, p := range lpt {
+		for i := 1; i < len(p); i++ {
+			if p[i] < p[i-1] {
+				t.Fatalf("partition not in ascending order: %v", p)
+			}
+		}
+	}
+	maxLoad := func(parts [][]int) int64 {
+		var max int64
+		for _, l := range partitionLoads(parts, costs) {
+			if l > max {
+				max = l
+			}
+		}
+		return max
+	}
+	rr := roundRobin(idxs, n)
+	if got, worst := maxLoad(lpt), maxLoad(rr); got >= worst {
+		t.Errorf("LPT makespan %d not better than round-robin %d", got, worst)
+	}
+	// 4 heavyweights over 4 partitions: LPT must spread them singly.
+	if got := maxLoad(lpt); got > 1003 {
+		t.Errorf("LPT makespan %d, want <= 1003 (one heavyweight per partition)", got)
+	}
+}
+
+func TestFillUnknownCosts(t *testing.T) {
+	costs := []int64{10, plan.CostUnknown, 20, plan.CostUnknown}
+	// Half known (2 of 4): the model stays usable, unknowns get the mean.
+	got := fillUnknownCosts([]int{0, 1, 2, 3}, costs)
+	if got == nil {
+		t.Fatal("half-known costs should not force round-robin")
+	}
+	if got[1] != 15 || got[3] != 15 {
+		t.Errorf("unknowns = %d,%d, want mean 15", got[1], got[3])
+	}
+	if costs[1] != plan.CostUnknown {
+		t.Error("input slice was modified")
+	}
+	// 1 of 4 known: too dynamic, fall back.
+	if got := fillUnknownCosts([]int{0, 1, 2, 3}, []int64{10, plan.CostUnknown, plan.CostUnknown, plan.CostUnknown}); got != nil {
+		t.Errorf("mostly-unknown costs should return nil, got %v", got)
+	}
+	// The subset view matters, not the whole slice: selecting only the
+	// known entries keeps the model.
+	if got := fillUnknownCosts([]int{0, 2}, []int64{10, plan.CostUnknown, 20, plan.CostUnknown}); got == nil {
+		t.Error("fully-known subset should keep the cost model")
+	}
+}
+
+// reportJSON canonicalizes a report for byte-identity comparison: wall
+// time is the only field allowed to differ between equivalent runs.
+func reportJSON(t *testing.T, rep *report.Report) string {
+	t.Helper()
+	c := *rep
+	c.Duration = 0
+	b, err := c.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// Metamorphic property: partitioning strategy and width are invisible
+// in the report — cost-model and round-robin parallel runs are
+// byte-identical to the sequential run, violations in the same order,
+// not merely the same set.
+func TestPropPartitionStrategiesByteIdentical(t *testing.T) {
+	for seed := int64(60); seed < 72; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		st := randomCorpus(rng, 20)
+		src := randomSuite(rng, 20)
+		prog, err := compiler.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seq := reportJSON(t, (&Engine{Store: st, Env: simenv.NewSim(), Opts: Options{Parallel: 1}}).Run(prog))
+		for _, workers := range []int{2, 3, 4, 8} {
+			for _, strat := range []PartitionStrategy{PartitionCost, PartitionRoundRobin} {
+				eng := &Engine{Store: st, Env: simenv.NewSim(), Opts: Options{Parallel: workers, Partition: strat}}
+				par := reportJSON(t, eng.Run(prog))
+				if par != seq {
+					t.Errorf("seed %d: %v parallel(%d) report differs from sequential\nseq: %s\npar: %s",
+						seed, strat, workers, seq, par)
+				}
+			}
+		}
+	}
+}
+
+// The incremental subset path shares the partitioner; its spliced
+// report must stay byte-identical to a full run under every strategy.
+func TestIncrementalSubsetUsesPartitioner(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	st := randomCorpus(rng, 20)
+	src := randomSuite(rng, 20)
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []PartitionStrategy{PartitionCost, PartitionRoundRobin} {
+		prev := &Engine{Store: st, Env: simenv.NewSim(), Opts: Options{Parallel: 4, Partition: strat}}
+		prevRep := prev.Run(prog)
+		prevSnap := prev.PinnedSnapshot()
+
+		// Mutate a slice of the corpus so a subset of specs re-runs.
+		mutated := mutateCorpus(rng, st)
+		full := (&Engine{Store: mutated, Env: simenv.NewSim(), Opts: Options{Parallel: 4, Partition: strat}}).Run(prog)
+		incEng := &Engine{Store: mutated, Env: simenv.NewSim(), Opts: Options{Parallel: 4, Partition: strat}}
+		inc := incEng.RunIncremental(prog, prevSnap, prevRep)
+		if inc.SpecsReused == 0 {
+			t.Fatalf("%v: incremental run reused nothing — subset path not exercised", strat)
+		}
+		fj, ij := reportJSON(t, full), reportJSON(t, inc)
+		// SpecsReused legitimately differs; zero it for the comparison.
+		fullC, incC := *full, *inc
+		fullC.Duration, incC.Duration = 0, 0
+		fullC.SpecsReused, incC.SpecsReused = 0, 0
+		fb, _ := fullC.JSON()
+		ib, _ := incC.JSON()
+		if string(fb) != string(ib) {
+			t.Errorf("%v: incremental report differs from full run\nfull: %s\ninc: %s", strat, fj, ij)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+// The multi-core load experiment (ROADMAP: "load harness"): drive the
+// validation pipeline with concurrent sessions in-process and over
+// loopback HTTP, and measure what the cost-model partitioner buys over
+// round-robin on a skew-heavy program. cvbench's `load` verb prints it
+// and BENCH_load.json records one run.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"confvalley/internal/azuregen"
+	"confvalley/internal/compiler"
+	"confvalley/internal/config"
+	"confvalley/internal/engine"
+	"confvalley/internal/infer"
+	"confvalley/internal/loadgen"
+	"confvalley/internal/report"
+	"confvalley/internal/simenv"
+)
+
+// PartitionRow is one (strategy, parallelism) makespan measurement on
+// the skewed-cost program.
+type PartitionRow struct {
+	Strategy   string  `json:"strategy"`
+	Parallel   int     `json:"parallel"`
+	MakespanMS float64 `json:"makespan_ms"` // max partition time — the round's critical path
+	SumMS      float64 `json:"sum_ms"`      // total work, identical across strategies
+	Imbalance  float64 `json:"imbalance"`   // makespan / (sum / parallel); 1.0 is perfect
+}
+
+// LoadResult aggregates the load experiment.
+type LoadResult struct {
+	InProcess loadgen.Result `json:"in_process"`
+	HTTP      loadgen.Result `json:"http"`
+	Ablation  []PartitionRow `json:"partition_ablation"`
+}
+
+// Load runs the load harness over an inferred Type A workload, then the
+// partitioner ablation over a deliberately skew-heavy program. On hosts
+// with fewer than 4 schedulable threads, GOMAXPROCS is raised for the
+// duration so the partitioned code paths (not just their sequential
+// fallbacks) are the thing measured; the results still stamp the true
+// hardware thread count, because timesharing one core cannot show
+// parallel speedup.
+func Load(cfg Config) LoadResult {
+	prevProcs := runtime.GOMAXPROCS(0)
+	if prevProcs < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prevProcs)
+	}
+
+	a := azuregen.GenerateA(cfg.ScaleA, cfg.Seed)
+	res := infer.Infer(a.Store, infer.Defaults())
+	opts := loadgen.Options{
+		Workers: 4,
+		Rounds:  8,
+		Spec:    res.GenerateCPL(),
+		Format:  "xml",
+		Payload: azuregen.RenderXML(a.Store),
+	}
+
+	var out LoadResult
+	var err error
+	if out.InProcess, err = loadgen.InProcess(opts); err != nil {
+		panic(fmt.Sprintf("load harness (in-process): %v", err))
+	}
+	if out.HTTP, err = loadgen.HTTP(opts); err != nil {
+		panic(fmt.Sprintf("load harness (http): %v", err))
+	}
+	cfg.printf("Load harness: %d workers × %d rounds, %d instances, %d specs (GOMAXPROCS=%d, host CPUs=%d)\n",
+		opts.Workers, opts.Rounds, a.Store.Len(), a.Classes, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	cfg.printf("%-12s %10s %12s %10s %10s %10s\n", "mode", "valid/sec", "wall_ms", "p50_ms", "p95_ms", "p99_ms")
+	for _, r := range []loadgen.Result{out.InProcess, out.HTTP} {
+		cfg.printf("%-12s %10.1f %12.1f %10.2f %10.2f %10.2f\n",
+			r.Mode, r.ValidationsPerSec, r.WallMS, r.P50MS, r.P95MS, r.P99MS)
+	}
+
+	out.Ablation = partitionAblation(cfg)
+	return out
+}
+
+// skewedWorkload builds a program whose per-spec costs are deliberately
+// lopsided in the exact shape that defeats round-robin: every eighth
+// spec is two orders of magnitude heavier than its neighbors, so an
+// 8-way round-robin deal stacks all the heavyweights onto partition 0
+// while LPT spreads them one per partition.
+func skewedWorkload(cfg Config) (*config.Store, *compiler.Program) {
+	st := config.NewStore()
+	var b strings.Builder
+	heavy := int(20000 * cfg.ScaleA)
+	if heavy < 1000 {
+		heavy = 1000
+	}
+	for i := 0; i < 24; i++ {
+		count := 8
+		if i%8 == 0 {
+			count = heavy
+		}
+		for j := 0; j < count; j++ {
+			st.Add(&config.Instance{
+				Key:   config.K(fmt.Sprintf("Node::n%d", j), fmt.Sprintf("P%d", i)),
+				Value: "42",
+			})
+		}
+		// Distinct range bounds per spec keep the optimizer's domain
+		// aggregation from folding the program into one spec — the skew
+		// between specs is the thing under test.
+		fmt.Fprintf(&b, "$P%d -> int & [0, %d]\n", i, 100+i)
+	}
+	prog, err := compiler.Compile(b.String())
+	if err != nil {
+		panic(err)
+	}
+	if len(prog.Specs) != 24 {
+		panic(fmt.Sprintf("skewed workload compiled to %d specs, want 24", len(prog.Specs)))
+	}
+	return st, prog
+}
+
+// partitionAblation measures round-robin vs cost-model partition
+// makespan with PartitionTimes — each partition timed sequentially, so
+// the comparison holds on any host including single-core containers —
+// and cross-checks that both strategies' parallel reports are
+// byte-identical to a sequential run's.
+func partitionAblation(cfg Config) []PartitionRow {
+	st, prog := skewedWorkload(cfg)
+	const nway = 8
+
+	best := func(f func() []time.Duration) []time.Duration {
+		out := f()
+		for i := 0; i < 2; i++ {
+			if t := f(); maxDur(t) < maxDur(out) {
+				out = t
+			}
+		}
+		return out
+	}
+
+	var rows []PartitionRow
+	cfg.printf("\nPartition ablation: %d-way split of the skewed program (%d instances)\n", nway, st.Len())
+	cfg.printf("%-12s %10s %12s %12s %11s\n", "strategy", "parallel", "makespan_ms", "sum_ms", "imbalance")
+	for _, strat := range []engine.PartitionStrategy{engine.PartitionRoundRobin, engine.PartitionCost} {
+		eng := engine.Engine{Store: st, Env: simenv.NewSim(), Opts: engine.Options{Partition: strat}}
+		times := best(func() []time.Duration {
+			st.InvalidateCache()
+			return eng.PartitionTimes(prog, nway)
+		})
+		var sum time.Duration
+		for _, d := range times {
+			sum += d
+		}
+		row := PartitionRow{
+			Strategy:   strat.String(),
+			Parallel:   nway,
+			MakespanMS: float64(maxDur(times).Nanoseconds()) / 1e6,
+			SumMS:      float64(sum.Nanoseconds()) / 1e6,
+		}
+		row.Imbalance = row.MakespanMS / (row.SumMS / nway)
+		rows = append(rows, row)
+		cfg.printf("%-12s %10d %12.2f %12.2f %11.2f\n",
+			row.Strategy, row.Parallel, row.MakespanMS, row.SumMS, row.Imbalance)
+	}
+
+	// Correctness gate: both strategies' merged parallel reports must be
+	// byte-identical to the sequential report (modulo wall time).
+	seq := runWith(st, prog, engine.Options{Parallel: 1})
+	for _, strat := range []engine.PartitionStrategy{engine.PartitionRoundRobin, engine.PartitionCost} {
+		par := runWith(st, prog, engine.Options{Parallel: nway, Partition: strat})
+		if err := reportsDiverge(seq, par); err != nil {
+			panic(fmt.Sprintf("partition ablation (%v): %v", strat, err))
+		}
+		if a, b := canonicalJSON(seq), canonicalJSON(par); a != b {
+			panic(fmt.Sprintf("partition ablation (%v): merged report not byte-identical to sequential", strat))
+		}
+	}
+	return rows
+}
+
+func runWith(st *config.Store, prog *compiler.Program, opts engine.Options) *report.Report {
+	st.InvalidateCache()
+	eng := engine.Engine{Store: st, Env: simenv.NewSim(), Opts: opts}
+	return eng.Run(prog)
+}
+
+// canonicalJSON renders a report with wall time zeroed — the only field
+// legitimately differing between equivalent runs.
+func canonicalJSON(rep *report.Report) string {
+	c := *rep
+	c.Duration = 0
+	b, err := c.JSON()
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+func maxDur(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,56 @@
+package plan
+
+// Spec cost estimation for the engine's cost-model partitioner. A
+// specification's execution time is dominated by how many instances its
+// discoveries return — every matched instance flows through predicate
+// closures, and the discovery itself walks the matching classes — so
+// the sum of footprint-pattern match counts against the run's snapshot
+// is a cheap, strongly-correlated proxy for per-spec work. The
+// estimate deliberately stays coarse: the partitioner only needs
+// relative weights good enough to keep one heavyweight spec from
+// pinning a whole partition behind it (LPT bin-packing), not absolute
+// timings.
+
+import "confvalley/internal/config"
+
+// CostUnknown marks a spec whose cost cannot be estimated statically: a
+// Dynamic footprint discovers patterns assembled from data at run time.
+const CostUnknown int64 = -1
+
+// Costs estimates each spec's execution cost against one snapshot, in
+// execution order: 1 (the fixed per-spec overhead) plus the number of
+// instances each footprint pattern matches. Dynamic specs report
+// CostUnknown. The result is cached per (plan, snapshot) — the counting
+// pass itself warms the snapshot's discovery cache with exactly the
+// patterns the validation run is about to discover, so the estimate's
+// cost is largely repaid before the run starts. The returned slice is
+// shared; callers must not modify it.
+func (p *Plan) Costs(sn *config.Snapshot) []int64 {
+	p.costMu.Lock()
+	if p.costSnap == sn && p.costs != nil {
+		costs := p.costs
+		p.costMu.Unlock()
+		return costs
+	}
+	p.costMu.Unlock()
+
+	costs := make([]int64, len(p.Specs))
+	for i, n := range p.Specs {
+		if n.fp.Dynamic {
+			costs[i] = CostUnknown
+			continue
+		}
+		c := int64(1)
+		for _, pat := range n.fp.Patterns {
+			c += int64(sn.Count(pat))
+		}
+		costs[i] = c
+	}
+
+	// Concurrent computations of the same (plan, snapshot) pair are
+	// deterministic; either result may win the slot.
+	p.costMu.Lock()
+	p.costSnap, p.costs = sn, costs
+	p.costMu.Unlock()
+	return costs
+}

@@ -47,7 +47,8 @@ func (p *Plan) Run(rt *Runtime, rep *report.Report) {
 // reporting a half-checked spec.
 func (n *SpecNode) Run(rt *Runtime, rep *report.Report) {
 	rep.SpecsRun++
-	c := &Ctx{rt: rt, quant: ast.QuantAll}
+	c := getCtx(rt)
+	defer putCtx(c)
 	before := len(rep.Violations)
 	instBefore := rep.InstancesChecked
 	panicked := false

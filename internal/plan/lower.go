@@ -593,7 +593,7 @@ func (lw *lowerer) lowerPred(p ast.Pred) predFn {
 		ty := t.T
 		tyName := ty.String()
 		return func(c *Ctx, elems []value.V) ([]outcome, error) {
-			out := make([]outcome, len(elems))
+			out := c.outcomes(len(elems))
 			for i, v := range elems {
 				if predicate.TypeCheck(ty, v) {
 					out[i] = outcome{pass: true}
@@ -623,7 +623,7 @@ func lowerPrim(t *ast.Prim) predFn {
 	switch t.Name {
 	case "nonempty":
 		return func(c *Ctx, elems []value.V) ([]outcome, error) {
-			out := make([]outcome, len(elems))
+			out := c.outcomes(len(elems))
 			for i, v := range elems {
 				if predicate.Nonempty(v) {
 					out[i] = outcome{pass: true}
@@ -635,7 +635,7 @@ func lowerPrim(t *ast.Prim) predFn {
 		}
 	case "exists":
 		return func(c *Ctx, elems []value.V) ([]outcome, error) {
-			out := make([]outcome, len(elems))
+			out := c.outcomes(len(elems))
 			for i, v := range elems {
 				if predicate.PathExists(c.rt.Env, v) {
 					out[i] = outcome{pass: true}
@@ -647,7 +647,7 @@ func lowerPrim(t *ast.Prim) predFn {
 		}
 	case "reachable":
 		return func(c *Ctx, elems []value.V) ([]outcome, error) {
-			out := make([]outcome, len(elems))
+			out := c.outcomes(len(elems))
 			for i, v := range elems {
 				if predicate.Reachable(c.rt.Env, v) {
 					out[i] = outcome{pass: true}
@@ -691,7 +691,7 @@ func lowerPrim(t *ast.Prim) predFn {
 // configuration class.
 func aggPred(fill func(elems, sub []value.V, part []int, out []outcome)) predFn {
 	return func(c *Ctx, elems []value.V) ([]outcome, error) {
-		out := make([]outcome, len(elems))
+		out := c.outcomes(len(elems))
 		for i := range out {
 			out[i] = outcome{pass: true}
 		}
@@ -711,7 +711,7 @@ func lowerMatch(t *ast.Match) predFn {
 			// matched, with every element failing; reproduce that.
 			matchErr := fmt.Errorf("match: bad regular expression %q: %v", pattern, err)
 			return func(c *Ctx, elems []value.V) ([]outcome, error) {
-				out := make([]outcome, len(elems))
+				out := c.outcomes(len(elems))
 				for i, v := range elems {
 					out[i] = outcome{msg: fmt.Sprintf("value %q does not match '%s'", v, pattern)}
 				}
@@ -731,7 +731,7 @@ func lowerMatch(t *ast.Match) predFn {
 
 func matchPred(pattern string, f func(string) bool) predFn {
 	return func(c *Ctx, elems []value.V) ([]outcome, error) {
-		out := make([]outcome, len(elems))
+		out := c.outcomes(len(elems))
 		for i, v := range elems {
 			if matchValue(v, f) {
 				out[i] = outcome{pass: true}
@@ -766,7 +766,7 @@ func (lw *lowerer) lowerRange(t *ast.Range) predFn {
 			[]value.V{value.Scalar(hiLit.Text)},
 		))
 		return func(c *Ctx, elems []value.V) ([]outcome, error) {
-			out := make([]outcome, len(elems))
+			out := c.outcomes(len(elems))
 			for i := range elems {
 				out[i] = rangeOutcome(c, pairs, elems[i])
 			}
@@ -790,7 +790,7 @@ func (lw *lowerer) lowerRange(t *ast.Range) predFn {
 		// call. Guarded on non-empty input because the interpreter only
 		// evaluates bounds inside the element loop.
 		return func(c *Ctx, elems []value.V) ([]outcome, error) {
-			out := make([]outcome, len(elems))
+			out := c.outcomes(len(elems))
 			if len(elems) == 0 {
 				return out, nil
 			}
@@ -805,7 +805,7 @@ func (lw *lowerer) lowerRange(t *ast.Range) predFn {
 		}
 	}
 	return func(c *Ctx, elems []value.V) ([]outcome, error) {
-		out := make([]outcome, len(elems))
+		out := c.outcomes(len(elems))
 		saved := c.cur
 		for i := range elems {
 			c.cur = &elems[i]
@@ -905,7 +905,7 @@ func (lw *lowerer) lowerEnum(t *ast.Enum) predFn {
 		bound := bindEnum(members)
 		rendered := RenderMembers(members)
 		return func(c *Ctx, elems []value.V) ([]outcome, error) {
-			out := make([]outcome, len(elems))
+			out := c.outcomes(len(elems))
 			for i := range elems {
 				if bound.contains(elems[i]) {
 					out[i] = outcome{pass: true}
@@ -946,7 +946,7 @@ func (lw *lowerer) lowerEnum(t *ast.Enum) predFn {
 				return nil, err
 			}
 			bound := bindEnum(members)
-			out := make([]outcome, len(elems))
+			out := c.outcomes(len(elems))
 			for i := range elems {
 				if bound.contains(elems[i]) {
 					out[i] = outcome{pass: true}
@@ -958,7 +958,7 @@ func (lw *lowerer) lowerEnum(t *ast.Enum) predFn {
 		}
 	}
 	return func(c *Ctx, elems []value.V) ([]outcome, error) {
-		out := make([]outcome, len(elems))
+		out := c.outcomes(len(elems))
 		saved := c.cur
 		for i := range elems {
 			c.cur = &elems[i]
@@ -1028,7 +1028,7 @@ func (lw *lowerer) lowerRel(t *ast.Rel) predFn {
 	if lit, ok := t.Rhs.(*ast.Lit); ok {
 		rhs := bindRHS(op, []value.V{value.Scalar(lit.Text)})
 		return func(c *Ctx, elems []value.V) ([]outcome, error) {
-			out := make([]outcome, len(elems))
+			out := c.outcomes(len(elems))
 			for i := range elems {
 				o, err := relOutcome(c, op, rhs, elems[i])
 				if err != nil {
@@ -1042,7 +1042,7 @@ func (lw *lowerer) lowerRel(t *ast.Rel) predFn {
 	rhsF := lw.lowerExpr(t.Rhs)
 	if !deepUsesCur(t.Rhs) {
 		return func(c *Ctx, elems []value.V) ([]outcome, error) {
-			out := make([]outcome, len(elems))
+			out := c.outcomes(len(elems))
 			if len(elems) == 0 {
 				return out, nil
 			}
@@ -1062,7 +1062,7 @@ func (lw *lowerer) lowerRel(t *ast.Rel) predFn {
 		}
 	}
 	return func(c *Ctx, elems []value.V) ([]outcome, error) {
-		out := make([]outcome, len(elems))
+		out := c.outcomes(len(elems))
 		saved := c.cur
 		for i := range elems {
 			c.cur = &elems[i]
@@ -1136,7 +1136,7 @@ func (lw *lowerer) lowerCall(t *ast.Call) predFn {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]outcome, len(elems))
+		out := c.outcomes(len(elems))
 		for i, v := range elems {
 			ok, err := fn.Check(c.rt.Env, args, v)
 			if err != nil {

@@ -54,6 +54,14 @@ type Plan struct {
 	Specs []*SpecNode
 	// StopOnViolation mirrors the program's on_violation 'stop' policy.
 	StopOnViolation bool
+
+	// One-entry cost cache: per-spec cost estimates are a function of
+	// (plan, snapshot), and the dominant callers — parallel watch rounds,
+	// repeated service requests against one corpus — re-ask for the same
+	// snapshot many times. See Costs in cost.go.
+	costMu   sync.Mutex
+	costSnap *config.Snapshot
+	costs    []int64
 }
 
 // SpecNode is one specification lowered to closures.
@@ -125,6 +133,14 @@ type Ctx struct {
 
 	polls       uint32 // inner-loop cancellation polls since the last real check
 	interrupted bool   // latched once the context reported canceled
+
+	// chunk/used back the outcome arena (see Ctx.outcomes): predicate
+	// closures carve per-element result slices out of one retained block
+	// instead of allocating each, which is the dominant allocation in a
+	// validation run's hot path. The block survives pooling (putCtx) so
+	// steady-state runs stop allocating outcomes entirely.
+	chunk []outcome
+	used  int
 }
 
 // canceled is the inner-loop variant of Runtime.Canceled. Consulting a

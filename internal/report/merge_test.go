@@ -1,0 +1,254 @@
+package report
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// referenceMerge is the original O(P·V log V) implementation — append
+// plus stable sort on every fold. The linear merge must be
+// byte-for-byte equivalent to it.
+func referenceMerge(reps []*Report) *Report {
+	out := &Report{}
+	for _, o := range reps {
+		out.Violations = append(out.Violations, o.Violations...)
+		sort.SliceStable(out.Violations, func(i, j int) bool {
+			return out.Violations[i].Seq < out.Violations[j].Seq
+		})
+		out.SpecsRun += o.SpecsRun
+		out.SpecsFailed += o.SpecsFailed
+		out.SpecErrors = append(out.SpecErrors, o.SpecErrors...)
+		out.errSeq = append(out.errSeq, o.errSeq...)
+		if len(out.errSeq) == len(out.SpecErrors) && len(out.errSeq) > 1 {
+			idx := make([]int, len(out.SpecErrors))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool { return out.errSeq[idx[a]] < out.errSeq[idx[b]] })
+			errs := make([]string, len(idx))
+			seqs := make([]int, len(idx))
+			for i, j := range idx {
+				errs[i], seqs[i] = out.SpecErrors[j], out.errSeq[j]
+			}
+			out.SpecErrors, out.errSeq = errs, seqs
+		}
+		out.InstancesChecked += o.InstancesChecked
+		out.SpecsReused += o.SpecsReused
+		if o.Duration > out.Duration {
+			out.Duration = o.Duration
+		}
+		out.Stopped = out.Stopped || o.Stopped
+		out.Interrupted = out.Interrupted || o.Interrupted
+	}
+	return out
+}
+
+// partitionReports builds P partition reports the way the engine does:
+// each partition holds an ascending residue class of spec positions,
+// its violations and tagged errors already Seq-sorted.
+func partitionReports(rng *rand.Rand, parts, specs int) []*Report {
+	reps := make([]*Report, parts)
+	for p := range reps {
+		reps[p] = &Report{}
+	}
+	for seq := 0; seq < specs; seq++ {
+		rep := reps[seq%parts]
+		rep.SpecsRun++
+		switch rng.Intn(4) {
+		case 0: // failing spec with a few violations
+			rep.SpecsFailed++
+			for v := rng.Intn(3) + 1; v > 0; v-- {
+				rep.Add(Violation{Seq: seq, SpecID: seq, Key: fmt.Sprintf("K%d[%d]", seq, v), Message: "bad"})
+			}
+		case 1: // broken spec
+			rep.AddSpecError(seq, fmt.Sprintf("spec %d: broken", seq))
+		}
+		rep.InstancesChecked += rng.Intn(5)
+	}
+	return reps
+}
+
+// The linear merge must reproduce the reference implementation exactly
+// — same violation order, same error order, same counters — for
+// engine-shaped (Seq-sorted) partition reports, in any merge order.
+func TestMergeMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		parts := 2 + rng.Intn(6)
+		reps := partitionReports(rng, parts, 10+rng.Intn(40))
+
+		clone := func() []*Report {
+			out := make([]*Report, len(reps))
+			for i, r := range reps {
+				c := *r
+				c.Violations = append([]Violation(nil), r.Violations...)
+				c.SpecErrors = append([]string(nil), r.SpecErrors...)
+				c.errSeq = append([]int(nil), r.errSeq...)
+				out[i] = &c
+			}
+			return out
+		}
+		want := referenceMerge(clone())
+		got := &Report{}
+		for _, r := range clone() {
+			got.Merge(r)
+		}
+		wj, err := want.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, err := got.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wj) != string(gj) {
+			t.Fatalf("seed %d: merged report differs from reference\nwant: %s\n got: %s", seed, wj, gj)
+		}
+		for i := 1; i < len(got.Violations); i++ {
+			if got.Violations[i].Seq < got.Violations[i-1].Seq {
+				t.Fatalf("seed %d: merged violations out of Seq order", seed)
+			}
+		}
+	}
+}
+
+// Hand-built reports with out-of-order violations still merge with the
+// old stable-sort semantics: ties keep the receiver's entries first.
+func TestMergeUnsortedFallback(t *testing.T) {
+	a := &Report{}
+	a.Add(Violation{Seq: 3, Key: "a3"})
+	a.Add(Violation{Seq: 1, Key: "a1"}) // out of order
+	b := &Report{}
+	b.Add(Violation{Seq: 1, Key: "b1"})
+	b.Add(Violation{Seq: 2, Key: "b2"})
+	a.Merge(b)
+	keys := make([]string, len(a.Violations))
+	for i, v := range a.Violations {
+		keys[i] = v.Key
+	}
+	if fmt.Sprint(keys) != "[a1 b1 b2 a3]" {
+		t.Errorf("merged order = %v, want [a1 b1 b2 a3]", keys)
+	}
+}
+
+// Equal-Seq violations from two sorted reports keep the receiver's
+// entries first — the stable-sort tie rule the linear path must honor.
+func TestMergeTieKeepsLeftFirst(t *testing.T) {
+	a := &Report{}
+	a.Add(Violation{Seq: 5, Key: "left1"})
+	a.Add(Violation{Seq: 5, Key: "left2"})
+	b := &Report{}
+	b.Add(Violation{Seq: 5, Key: "right1"})
+	a.Merge(b)
+	keys := make([]string, len(a.Violations))
+	for i, v := range a.Violations {
+		keys[i] = v.Key
+	}
+	if fmt.Sprint(keys) != "[left1 left2 right1]" {
+		t.Errorf("tie order = %v, want [left1 left2 right1]", keys)
+	}
+}
+
+// Untagged spec errors (hand-appended, no position info) keep arrival
+// order, exactly as before.
+func TestMergeUntaggedSpecErrors(t *testing.T) {
+	a := &Report{SpecErrors: []string{"z"}}
+	b := &Report{SpecErrors: []string{"a"}}
+	a.Merge(b)
+	if fmt.Sprint(a.SpecErrors) != "[z a]" {
+		t.Errorf("untagged errors reordered: %v", a.SpecErrors)
+	}
+	if a.Tagged() {
+		t.Error("merged untagged report claims Tagged")
+	}
+}
+
+// Reset must return a pooled report to a state indistinguishable from a
+// zero value, while the engine's pool relies on capacity being kept.
+func TestReset(t *testing.T) {
+	r := &Report{}
+	r.Add(Violation{Seq: 1, Key: "k"})
+	r.AddSpecError(2, "boom")
+	r.SpecsRun, r.SpecsFailed, r.InstancesChecked, r.SpecsReused = 3, 1, 9, 2
+	r.Duration, r.Stopped, r.Interrupted = time.Second, true, true
+	r.NoteSpec(1, SpecOutcome{Instances: 4, Failed: true})
+	r.Reset()
+
+	// Reset keeps slice capacity for reuse, so empty-but-non-nil slices
+	// are expected; the baseline mirrors that.
+	zero, err := (&Report{Violations: []Violation{}, SpecErrors: []string{}}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(zero) {
+		t.Errorf("reset report differs from zero value:\n got: %s\nzero: %s", got, zero)
+	}
+	if _, ok := r.Outcome(1); ok {
+		t.Error("per-spec accounting survived Reset")
+	}
+	if !r.Passed() || r.Tagged() != (&Report{}).Tagged() {
+		t.Error("reset report behaves differently from zero value")
+	}
+}
+
+// A partial (Interrupted) report must round-trip the wire unchanged:
+// the flag, the truncated counters, and the violations found before the
+// interruption all survive encode/decode/reconstruct.
+func TestWirePartialReportRoundTrip(t *testing.T) {
+	r := &Report{SpecsRun: 3, SpecsFailed: 1, InstancesChecked: 17, Interrupted: true}
+	r.Add(Violation{Seq: 0, SpecID: 0, Spec: "$A -> int", Key: "A[1]", Value: "x", Message: "not an int", Severity: Error})
+	r.AddSpecError(2, "spec 2: plug-in panicked")
+
+	b, err := r.EncodeWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := DecodeWire(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := w.Report()
+	if !back.Interrupted {
+		t.Error("Interrupted flag lost on the wire")
+	}
+	if back.SpecsRun != 3 || back.SpecsFailed != 1 || back.InstancesChecked != 17 {
+		t.Errorf("partial counters drifted: %+v", back)
+	}
+	if len(back.Violations) != 1 || back.Violations[0].Key != "A[1]" {
+		t.Errorf("violations drifted: %+v", back.Violations)
+	}
+	if len(back.SpecErrors) != 1 {
+		t.Errorf("spec errors drifted: %v", back.SpecErrors)
+	}
+	b2, err := back.EncodeWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Errorf("partial report wire round trip drifted:\n first: %s\nsecond: %s", b, b2)
+	}
+}
+
+// BenchmarkReportMerge guards the merge complexity: folding P sorted
+// partition reports is linear passes, not P re-sorts of the accumulated
+// list. Run with -benchmem: the allocation count must stay flat in the
+// number of partitions, not the violation count.
+func BenchmarkReportMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const parts, specs = 8, 4000
+	reps := partitionReports(rng, parts, specs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := &Report{}
+		for _, r := range reps {
+			out.Merge(r)
+		}
+	}
+}

@@ -77,11 +77,11 @@ func (v Violation) String() string {
 
 // Report aggregates one validation run.
 type Report struct {
-	Violations       []Violation   `json:"violations"`
-	SpecsRun         int           `json:"specs_run"`
-	SpecsFailed      int           `json:"specs_failed"`
-	SpecErrors       []string      `json:"spec_errors,omitempty"` // specs that could not be evaluated
-	InstancesChecked int           `json:"instances_checked"`
+	Violations       []Violation `json:"violations"`
+	SpecsRun         int         `json:"specs_run"`
+	SpecsFailed      int         `json:"specs_failed"`
+	SpecErrors       []string    `json:"spec_errors,omitempty"` // specs that could not be evaluated
+	InstancesChecked int         `json:"instances_checked"`
 	// SpecsReused counts specs whose cached verdicts an incremental run
 	// spliced in instead of re-executing; 0 on a full run.
 	SpecsReused int           `json:"specs_reused,omitempty"`
@@ -172,33 +172,21 @@ func (r *Report) AddSpecError(seq int, msg string) {
 func (r *Report) Passed() bool { return len(r.Violations) == 0 && len(r.SpecErrors) == 0 }
 
 // Merge folds another report (from a parallel partition) into this one
-// and restores sequential order: violations are stably sorted by spec
+// and restores sequential order: violations end up sorted by spec
 // execution position, so the merged report reads identically no matter
-// how the partitions were timed. Spec errors are likewise reordered when
-// every entry carries a position tag (AddSpecError); reports built with
-// untagged appends keep their arrival order.
+// how the partitions were timed. Partition reports are Seq-sorted by
+// construction (each partition runs its specs in ascending position),
+// so the common case is a linear two-way merge; hand-built reports with
+// out-of-order violations fall back to a stable sort with identical
+// semantics (equal positions keep this report's entries first). Spec
+// errors are likewise reordered when every entry carries a position tag
+// (AddSpecError); reports built with untagged appends keep their
+// arrival order.
 func (r *Report) Merge(o *Report) {
-	r.Violations = append(r.Violations, o.Violations...)
-	sort.SliceStable(r.Violations, func(i, j int) bool {
-		return r.Violations[i].Seq < r.Violations[j].Seq
-	})
+	r.Violations = mergeViolations(r.Violations, o.Violations)
 	r.SpecsRun += o.SpecsRun
 	r.SpecsFailed += o.SpecsFailed
-	r.SpecErrors = append(r.SpecErrors, o.SpecErrors...)
-	r.errSeq = append(r.errSeq, o.errSeq...)
-	if len(r.errSeq) == len(r.SpecErrors) && len(r.errSeq) > 1 {
-		idx := make([]int, len(r.SpecErrors))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool { return r.errSeq[idx[a]] < r.errSeq[idx[b]] })
-		errs := make([]string, len(idx))
-		seqs := make([]int, len(idx))
-		for i, j := range idx {
-			errs[i], seqs[i] = r.SpecErrors[j], r.errSeq[j]
-		}
-		r.SpecErrors, r.errSeq = errs, seqs
-	}
+	r.SpecErrors, r.errSeq = mergeSpecErrors(r.SpecErrors, r.errSeq, o.SpecErrors, o.errSeq)
 	r.InstancesChecked += o.InstancesChecked
 	r.SpecsReused += o.SpecsReused
 	if o.Duration > r.Duration {
@@ -214,6 +202,125 @@ func (r *Report) Merge(o *Report) {
 			r.perSpec[seq] = so
 		}
 	}
+}
+
+// mergeViolations merges two violation lists into Seq order. Both lists
+// coming out of the engine are already sorted (partitions hold ascending
+// execution positions and run them in order), so the usual path is one
+// linear pass with no re-sorting; an unsorted input falls back to the
+// equivalent append-and-stable-sort.
+func mergeViolations(a, b []Violation) []Violation {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append(a, b...)
+	}
+	if !seqSorted(a) || !seqSorted(b) {
+		out := append(a, b...)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+		return out
+	}
+	out := make([]Violation, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// <= keeps this report's entries first on equal positions,
+		// matching what a stable sort of the concatenation produces.
+		if a[i].Seq <= b[j].Seq {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func seqSorted(vs []Violation) bool {
+	for i := 1; i < len(vs); i++ {
+		if vs[i].Seq < vs[i-1].Seq {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeSpecErrors merges two spec-error lists with their position tags.
+// Fully tagged, sorted inputs take the linear path; anything else falls
+// back to concatenation plus the stable index sort (or plain arrival
+// order when a side is untagged, as before).
+func mergeSpecErrors(ae []string, aseq []int, be []string, bseq []int) ([]string, []int) {
+	aTagged, bTagged := len(aseq) == len(ae), len(bseq) == len(be)
+	if aTagged && bTagged && intsSorted(aseq) && intsSorted(bseq) {
+		if len(be) == 0 {
+			return ae, aseq
+		}
+		if len(ae) == 0 {
+			return append(ae, be...), append(aseq, bseq...)
+		}
+		errs := make([]string, 0, len(ae)+len(be))
+		seqs := make([]int, 0, len(aseq)+len(bseq))
+		i, j := 0, 0
+		for i < len(ae) && j < len(be) {
+			if aseq[i] <= bseq[j] {
+				errs, seqs = append(errs, ae[i]), append(seqs, aseq[i])
+				i++
+			} else {
+				errs, seqs = append(errs, be[j]), append(seqs, bseq[j])
+				j++
+			}
+		}
+		errs = append(errs, ae[i:]...)
+		seqs = append(seqs, aseq[i:]...)
+		errs = append(errs, be[j:]...)
+		seqs = append(seqs, bseq[j:]...)
+		return errs, seqs
+	}
+	errs := append(ae, be...)
+	seqs := append(aseq, bseq...)
+	if len(seqs) == len(errs) && len(seqs) > 1 {
+		idx := make([]int, len(errs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return seqs[idx[a]] < seqs[idx[b]] })
+		oe := make([]string, len(idx))
+		os := make([]int, len(idx))
+		for i, j := range idx {
+			oe[i], os[i] = errs[j], seqs[j]
+		}
+		return oe, os
+	}
+	return errs, seqs
+}
+
+func intsSorted(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the report for reuse, retaining allocated capacity. The
+// engine pools partition-local reports across runs; a recycled report
+// must start indistinguishable from a zero value.
+func (r *Report) Reset() {
+	r.Violations = r.Violations[:0]
+	r.SpecsRun = 0
+	r.SpecsFailed = 0
+	r.SpecErrors = r.SpecErrors[:0]
+	r.InstancesChecked = 0
+	r.SpecsReused = 0
+	r.Duration = 0
+	r.Stopped = false
+	r.Interrupted = false
+	r.errSeq = r.errSeq[:0]
+	clear(r.perSpec)
 }
 
 // ConstraintGroup is the by-specification view of violations.

@@ -22,10 +22,13 @@ import (
 )
 
 // Options configures a Runner; the fields mirror cvcheck's flags and
-// the corresponding Session knobs. The zero value is a sequential,
-// non-incremental, degrading runner with no load timeout.
+// the corresponding Session knobs. The zero value is a non-incremental,
+// degrading runner with no load timeout that validates with one worker
+// per hardware thread.
 type Options struct {
-	// Parallel > 1 partitions specifications across that many workers.
+	// Parallel sets the validation worker count: 0 or negative uses one
+	// worker per hardware thread, 1 forces sequential execution, and
+	// N > 1 uses exactly N workers (always clamped to the spec count).
 	Parallel int
 	// StopOnFirst aborts validation at the first violation.
 	StopOnFirst bool

@@ -134,10 +134,11 @@ type Server struct {
 	queued atomic.Int64
 
 	// Cumulative counters for the stats endpoint.
-	validations  atomic.Int64
-	violations   atomic.Int64
-	rejectedBusy atomic.Int64
-	denied       atomic.Int64 // quota / size / name rejections
+	validations     atomic.Int64
+	violations      atomic.Int64
+	rejectedBusy    atomic.Int64
+	canceledWaiting atomic.Int64 // requests canceled by the client while queued
+	denied          atomic.Int64 // quota / size / name rejections
 }
 
 // New returns a server with cfg's gaps filled by defaults.
@@ -186,6 +187,11 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 		s.rejectedBusy.Add(1)
 		return nil, ErrBusy
 	case <-ctx.Done():
+		// The client gave up (disconnect, deadline) while queued. Not a
+		// shed — counting it under rejectedBusy would overstate server
+		// pressure, and counting it nowhere made queue abandonment
+		// invisible. It gets its own counter.
+		s.canceledWaiting.Add(1)
 		return nil, ctx.Err()
 	}
 }
@@ -364,13 +370,14 @@ func (s *Server) Health() HealthInfo {
 	tenants := len(s.tenants)
 	s.mu.RUnlock()
 	return HealthInfo{
-		Status:        "ok",
-		Version:       confvalley.Version,
-		SchemaVersion: report.SchemaVersion,
-		UptimeSeconds: int64(time.Since(s.start).Seconds()),
-		Tenants:       tenants,
-		InFlight:      len(s.sem),
-		Queued:        int(s.queued.Load()),
+		Status:          "ok",
+		Version:         confvalley.Version,
+		SchemaVersion:   report.SchemaVersion,
+		UptimeSeconds:   int64(time.Since(s.start).Seconds()),
+		Tenants:         tenants,
+		InFlight:        len(s.sem),
+		Queued:          int(s.queued.Load()),
+		CanceledWaiting: s.canceledWaiting.Load(),
 	}
 }
 
@@ -385,6 +392,7 @@ func (s *Server) Stats() StatsInfo {
 		Validations:     s.validations.Load(),
 		Violations:      s.violations.Load(),
 		RejectedBusy:    s.rejectedBusy.Load(),
+		CanceledWaiting: s.canceledWaiting.Load(),
 		QuotaDenied:     s.denied.Load(),
 		InFlight:        len(s.sem),
 		Queued:          int(s.queued.Load()),
@@ -429,6 +437,10 @@ type HealthInfo struct {
 	Tenants       int    `json:"tenants"`
 	InFlight      int    `json:"in_flight"`
 	Queued        int    `json:"queued"`
+	// CanceledWaiting counts requests whose client canceled while they
+	// waited in the admission queue — abandonment, distinct from the
+	// server shedding load (rejected_busy).
+	CanceledWaiting int64 `json:"canceled_waiting"`
 }
 
 // StatsInfo is the stats endpoint's body.
@@ -436,6 +448,7 @@ type StatsInfo struct {
 	Validations     int64         `json:"validations"`
 	Violations      int64         `json:"violations"`
 	RejectedBusy    int64         `json:"rejected_busy"`
+	CanceledWaiting int64         `json:"canceled_waiting"`
 	QuotaDenied     int64         `json:"quota_denied"`
 	InFlight        int           `json:"in_flight"`
 	Queued          int           `json:"queued"`

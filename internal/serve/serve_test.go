@@ -180,6 +180,36 @@ func TestAdmissionControl(t *testing.T) {
 	}
 }
 
+// A client that disconnects (or times out) while queued is not a shed:
+// it must come back as the context's error and be counted under
+// canceled_waiting, leaving rejected_busy — the server-pressure signal —
+// untouched.
+func TestAcquireCanceledWhileQueued(t *testing.T) {
+	srv, _ := testClient(t, Config{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 5 * time.Second})
+
+	// Occupy the only slot out-of-band so the next acquire queues.
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := srv.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire after cancel = %v, want context.Canceled", err)
+	}
+	if got := srv.Stats().CanceledWaiting; got != 1 {
+		t.Errorf("Stats().CanceledWaiting = %d, want 1", got)
+	}
+	if got := srv.Health().CanceledWaiting; got != 1 {
+		t.Errorf("Health().CanceledWaiting = %d, want 1", got)
+	}
+	if got := srv.Stats().RejectedBusy; got != 0 {
+		t.Errorf("cancellation miscounted as shed: RejectedBusy = %d, want 0", got)
+	}
+}
+
 func TestHealthAndStats(t *testing.T) {
 	_, c := testClient(t, Config{})
 	ctx := context.Background()

@@ -25,13 +25,15 @@ import (
 //
 // Option fields and registrations are not safe for concurrent mutation,
 // but validation may overlap with SwapStore: each run pins the store's
-// sealed snapshot at start, and the engine parallelizes internally when
-// Parallel is set.
+// sealed snapshot at start, and the engine parallelizes internally
+// (one worker per hardware thread unless Parallel says otherwise).
 type Session struct {
 	store atomic.Pointer[config.Store]
 	env   simenv.Env
 
-	// Parallel > 1 partitions specifications across that many workers.
+	// Parallel sets the validation worker count: 0 or negative uses one
+	// worker per hardware thread, 1 forces sequential execution, and
+	// N > 1 uses exactly N workers (always clamped to the spec count).
 	Parallel int
 	// StopOnFirst aborts validation at the first violation.
 	StopOnFirst bool
