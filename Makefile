@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build tier1 test bench plan-bench stress store-bench incremental-bench fault-bench load-bench fuzz-smoke bench-smoke e2e
+.PHONY: all build tier1 test bench plan-bench stress store-bench incremental-bench fault-bench load-bench servecache-bench fuzz-smoke bench-smoke e2e
 
 all: build
 
@@ -60,6 +60,13 @@ fault-bench:
 # Regenerate the throughput numbers recorded in BENCH_load.json.
 load-bench:
 	$(GO) run ./cmd/cvbench -run load -full
+
+# Regenerate the service-cache numbers recorded in
+# BENCH_servecache.json (cold vs repeat vs low-churn request streams;
+# the identity gate panics if any cached answer diverges from a cold
+# CLI-path run).
+servecache-bench:
+	$(GO) run ./cmd/cvbench -run servecache -full
 
 # Short coverage-guided run of each driver fuzzer on top of the checked-in
 # seeds. Mirrors the CI "Fuzz smoke" step; a crasher fails the target.

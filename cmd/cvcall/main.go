@@ -37,7 +37,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"time"
 
@@ -74,12 +73,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	ctx := context.Background()
+	clientTimeout := time.Duration(-1) // flag 0 = explicitly unbounded
 	if *timeout > 0 {
+		clientTimeout = *timeout
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	c := &serve.Client{Base: *server, Tenant: *tenant, HTTP: http.DefaultClient}
+	c := &serve.Client{Base: *server, Tenant: *tenant, Timeout: clientTimeout}
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 
 	fail := func(err error) int {

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	cvserve [-addr 127.0.0.1:7077] [-parallel N] [-incremental]
+//	cvserve [-addr 127.0.0.1:7077] [-parallel N]
 //	        [-max-stale N] [-load-timeout 5s]
 //	        [-max-concurrent N] [-max-queue N] [-queue-wait 10s]
+//	        [-snapshot-cache N] [-result-cache N] [-no-incremental]
 //	        [-max-tenants N] [-max-specs N] [-max-spec-bytes N]
 //	        [-max-sources N] [-max-payload-bytes N] [-version]
 //
@@ -25,6 +26,15 @@
 // plan state — so tenants are isolated structurally, not by locking.
 // Admission control bounds concurrent validations; excess requests wait
 // in a bounded queue and overflow is rejected with 429.
+//
+// Three cache layers, all on by default, serve the hot path: a
+// per-tenant result cache with request coalescing (repeat payloads
+// return the cached response without consuming a validation slot), a
+// content-addressed snapshot cache (matching payload bytes skip
+// parsing), and cross-request incremental validation (a low-churn
+// request re-runs only the specs its payload delta touches). Disable
+// with -result-cache -1, -snapshot-cache -1, and -no-incremental;
+// /healthz and /statsz expose per-tenant hit/miss/reuse counters.
 //
 // cvserve exits 0 on clean shutdown (SIGINT/SIGTERM), 2 on usage or
 // listen errors.
@@ -58,9 +68,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:7077", "listen address (host:port; port 0 picks a free port)")
 		parallel    = fs.Int("parallel", 1, "validate each request's specifications in N parallel partitions")
-		incremental = fs.Bool("incremental", false, "re-run only the specs affected by keys changed since each tenant's previous request")
 		maxStale    = fs.Int("max-stale", 0, "serve a failing source from its last good parse for at most N requests (0 = forever, negative = never)")
 		loadTimeout = fs.Duration("load-timeout", 0, "bound each validation (loading plus validation); 0 = no bound")
+
+		noIncremental = fs.Bool("no-incremental", false, "run every spec on every request instead of re-running only specs affected by keys changed since the spec's last validation")
+		snapshotCache = fs.Int("snapshot-cache", 0, "per-tenant content-addressed cache of parsed payload sets (0 = default 8, negative = disable)")
+		resultCache   = fs.Int("result-cache", 0, "per-tenant (spec, payload) response cache + request coalescing (0 = default 256, negative = disable)")
 
 		maxConcurrent = fs.Int("max-concurrent", 0, "validations running at once (0 = default 4)")
 		maxQueue      = fs.Int("max-queue", 0, "requests waiting for a slot before 429 (0 = 2x max-concurrent)")
@@ -94,12 +107,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MaxSources:      *maxSources,
 			MaxPayloadBytes: *maxPayloadBytes,
 		},
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		QueueWait:     *queueWait,
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *maxQueue,
+		QueueWait:         *queueWait,
+		SnapshotCacheSize: *snapshotCache,
+		ResultCacheSize:   *resultCache,
+		NoIncremental:     *noIncremental,
 		Runner: runner.Options{
 			Parallel:    *parallel,
-			Incremental: *incremental,
 			MaxStale:    *maxStale,
 			LoadTimeout: *loadTimeout,
 			Env:         confvalley.HostEnv(),

@@ -1,0 +1,64 @@
+package config
+
+import "testing"
+
+// Content addressing: equal non-empty IDs prove an empty diff across
+// unrelated stores; mutation clears the address so it can never go
+// stale.
+func TestContentIDDiffFastPath(t *testing.T) {
+	build := func() *Store {
+		st := NewStore()
+		st.Add(&Instance{Key: K("App", "timeout"), Value: "30"})
+		st.Add(&Instance{Key: K("App", "retries"), Value: "3"})
+		return st
+	}
+
+	a, b := build(), build()
+	a.SetContentID("digest-1")
+	b.SetContentID("digest-1")
+	if d := b.Snapshot().Diff(a.Snapshot()); !d.Empty() {
+		t.Errorf("equal content IDs diffed non-empty: %d keys", d.Len())
+	}
+
+	// Different IDs fall back to the key walk and still find nothing for
+	// identical content.
+	c := build()
+	c.SetContentID("digest-2")
+	if d := c.Snapshot().Diff(a.Snapshot()); !d.Empty() {
+		t.Errorf("identical content, different IDs: delta %d keys", d.Len())
+	}
+
+	// Empty IDs never short-circuit.
+	e := build()
+	e.Add(&Instance{Key: K("App", "extra"), Value: "1"})
+	if d := e.Snapshot().Diff(a.Snapshot()); d.Len() != 1 {
+		t.Errorf("no-ID diff = %d keys, want 1", d.Len())
+	}
+}
+
+func TestContentIDClearedByMutation(t *testing.T) {
+	st := NewStore()
+	st.Add(&Instance{Key: K("App", "timeout"), Value: "30"})
+	st.SetContentID("digest-1")
+	sn1 := st.Snapshot()
+	if sn1.ContentID() != "digest-1" {
+		t.Fatalf("ContentID = %q, want digest-1", sn1.ContentID())
+	}
+
+	st.Add(&Instance{Key: K("App", "retries"), Value: "3"})
+	sn2 := st.Snapshot()
+	if sn2.ContentID() != "" {
+		t.Errorf("ContentID survived mutation: %q", sn2.ContentID())
+	}
+	// The mutated snapshot must not be confused with the old content.
+	if d := sn2.Diff(sn1); d.Len() != 1 {
+		t.Errorf("post-mutation diff = %d keys, want 1", d.Len())
+	}
+
+	// SetContentID drops an existing seal so the next snapshot carries
+	// the address.
+	st.SetContentID("digest-3")
+	if got := st.Snapshot().ContentID(); got != "digest-3" {
+		t.Errorf("re-addressed snapshot ContentID = %q, want digest-3", got)
+	}
+}

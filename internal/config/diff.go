@@ -47,6 +47,15 @@ func (sn *Snapshot) Diff(old *Snapshot) Delta {
 		d.index()
 		return d
 	}
+	if old != nil && sn.contentID != "" && sn.contentID == old.contentID {
+		// Content-address fast path: both snapshots were sealed from the
+		// same bytes (Store.SetContentID contract), so the delta is empty
+		// even when the snapshots come from unrelated stores — the case a
+		// service hits when a payload repeats after its cached store was
+		// evicted.
+		d.index()
+		return d
+	}
 	for _, id := range sn.classes {
 		var oldIns []*Instance
 		if old != nil {

@@ -37,6 +37,11 @@ type Store struct {
 	snap   atomic.Pointer[Snapshot]
 	shared bool
 
+	// contentID is an optional caller-supplied content address (see
+	// SetContentID); cleared by any mutation so a stale address can never
+	// outlive the content it named.
+	contentID string
+
 	cacheMode CacheMode
 
 	// Stats counts discovery work for the Figure 4 / §5.2 ablations.
@@ -84,6 +89,7 @@ func (st *Store) addLocked(in *Instance) {
 		st.shared = false
 	}
 	st.snap.Store(nil)
+	st.contentID = "" // content changed; any prior address is stale
 	st.instances = append(st.instances, in)
 	cp := classID(in.Key)
 	if _, seen := st.byClass[cp]; !seen {
@@ -129,10 +135,29 @@ func (st *Store) Snapshot() *Snapshot {
 		trie:      buildTrie(st.classes, st.classSegs),
 		cache:     newDiscoveryCache(st.cacheMode),
 		stats:     &st.Stats,
+		contentID: st.contentID,
 	}
 	st.snap.Store(sn)
 	st.shared = true
 	return sn
+}
+
+// SetContentID records a content address for the store's current
+// contents: a digest of the exact bytes the instances were parsed from.
+// The address is sealed into subsequent snapshots (dropping an existing
+// seal so the next Snapshot carries it) and cleared by any mutation.
+//
+// Contract: callers must guarantee that two stores given the same
+// non-empty ID hold identical instance sequences — Snapshot.Diff trusts
+// equal IDs to mean an empty delta without walking a single key. The
+// ingest layer derives IDs from source bytes (name, format, scope,
+// payload), which satisfies the contract because parsing is
+// deterministic.
+func (st *Store) SetContentID(id string) {
+	st.mu.Lock()
+	st.contentID = id
+	st.snap.Store(nil) // shared stays true: an old snapshot may live on
+	st.mu.Unlock()
 }
 
 // SetCacheMode selects the discovery-cache implementation for snapshots

@@ -83,6 +83,18 @@ func (e *Engine) RunIncrementalContext(ctx context.Context, prog *compiler.Progr
 		return e.Run(prog)
 	}
 
+	if len(rerun) == 0 {
+		// Nothing to re-run — the delta touched no footprint (often because
+		// the diff's identity or content-address fast path proved the
+		// snapshots equal). Clone the previous report instead of splicing
+		// spec by spec: same bytes, none of the per-spec walk. This is the
+		// steady state of a service seeing repeated payloads.
+		out := prevRep.Clone()
+		out.SpecsReused = len(p.Specs)
+		out.Duration = time.Since(start)
+		return out
+	}
+
 	fresh := e.runSubset(p, rerun)
 	if fresh.Interrupted {
 		// The re-run subset was cut off: return it as-is, partial and

@@ -1,0 +1,50 @@
+package ingest
+
+// Content addressing for request payloads (the service-side caching
+// substrate, DESIGN.md §12). A source's digest covers everything that
+// influences its parse — name, driver, scope, raw bytes — so equal
+// digests imply an identical instance sequence, which is exactly the
+// Store.SetContentID contract the snapshot diff fast path relies on.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// SourceDigest returns a content address for one in-memory source. The
+// fields are length-framed so no two distinct (name, format, scope,
+// data) tuples collide by concatenation.
+func SourceDigest(name, format, scope string, data []byte) string {
+	h := sha256.New()
+	var frame [8]byte
+	writeField := func(b []byte) {
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(b)))
+		h.Write(frame[:])
+		h.Write(b)
+	}
+	writeField([]byte(name))
+	writeField([]byte(format))
+	writeField([]byte(scope))
+	writeField(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CombineDigests folds per-source digests into one request-level
+// address. Order matters: sources load in sequence and later duplicates
+// shadow nothing (duplicate keys append), so a reordered request is a
+// different configuration.
+func CombineDigests(digests []string) string {
+	if len(digests) == 1 {
+		return digests[0]
+	}
+	h := sha256.New()
+	var frame [8]byte
+	binary.LittleEndian.PutUint64(frame[:], uint64(len(digests)))
+	h.Write(frame[:])
+	for _, d := range digests {
+		h.Write([]byte(d))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

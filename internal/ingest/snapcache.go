@@ -1,0 +1,118 @@
+package ingest
+
+import (
+	"container/list"
+	"sync"
+
+	"confvalley/internal/config"
+)
+
+// SnapshotCache is a bounded LRU of parsed request payloads, keyed by
+// content address (CombineDigests over the request's SourceDigests). A
+// hit returns the previously sealed store — same pointer, same
+// snapshot — so a repeated payload skips fetch, parse and seal
+// entirely, and a subsequent Snapshot.Diff against state derived from
+// the same entry is the O(1) identity case.
+//
+// Entries are immutable by contract: callers must never mutate a cached
+// store or its LoadReport after Put. The runner guarantees this by only
+// caching payload-only loads (no server-side sources, no spec-driven
+// load commands that would append to the store mid-run) whose report is
+// clean — a degraded parse depends on the loader's last-good history,
+// not just the bytes, and so is not content-addressable.
+type SnapshotCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type snapEntry struct {
+	key   string
+	store *config.Store
+	rep   *LoadReport
+}
+
+// NewSnapshotCache returns a cache bounded to capacity entries; zero or
+// negative capacity returns nil, and a nil cache is a valid always-miss
+// cache.
+func NewSnapshotCache(capacity int) *SnapshotCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &SnapshotCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached store and load report for a content address.
+func (c *SnapshotCache) Get(key string) (*config.Store, *LoadReport, bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*snapEntry)
+	return e.store, e.rep, true
+}
+
+// Put inserts (or refreshes) an entry, evicting the least recently used
+// entry beyond capacity.
+func (c *SnapshotCache) Put(key string, st *config.Store, rep *LoadReport) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*snapEntry).store, el.Value.(*snapEntry).rep = st, rep
+		return
+	}
+	c.items[key] = c.ll.PushFront(&snapEntry{key: key, store: st, rep: rep})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*snapEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *SnapshotCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// SnapshotCacheStats is a point-in-time counter snapshot.
+type SnapshotCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// Stats returns the cache counters; zero for a nil cache.
+func (c *SnapshotCache) Stats() SnapshotCacheStats {
+	if c == nil {
+		return SnapshotCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SnapshotCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}

@@ -1,0 +1,89 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+
+	"confvalley/internal/config"
+)
+
+func TestSourceDigestFraming(t *testing.T) {
+	base := SourceDigest("a.kv", "kv", "", []byte("x = 1\n"))
+	if got := SourceDigest("a.kv", "kv", "", []byte("x = 1\n")); got != base {
+		t.Error("digest not deterministic")
+	}
+	// Every field participates, and framing keeps boundary shifts apart.
+	variants := []string{
+		SourceDigest("b.kv", "kv", "", []byte("x = 1\n")),
+		SourceDigest("a.kv", "ini", "", []byte("x = 1\n")),
+		SourceDigest("a.kv", "kv", "App", []byte("x = 1\n")),
+		SourceDigest("a.kv", "kv", "", []byte("x = 2\n")),
+		SourceDigest("a.kvk", "v", "", []byte("x = 1\n")),
+	}
+	seen := map[string]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Errorf("variant %d collided", i)
+		}
+		seen[v] = true
+	}
+
+	one := CombineDigests([]string{base})
+	if one != base {
+		t.Error("single-source combine should be the source digest itself")
+	}
+	two := CombineDigests([]string{base, variants[0]})
+	if two == CombineDigests([]string{variants[0], base}) {
+		t.Error("combined digest ignores source order")
+	}
+}
+
+func TestSnapshotCacheLRU(t *testing.T) {
+	c := NewSnapshotCache(2)
+	mk := func(i int) (*config.Store, *LoadReport) {
+		st := config.NewStore()
+		st.Add(&config.Instance{Key: config.K("App", "n"), Value: fmt.Sprint(i)})
+		return st, &LoadReport{}
+	}
+	s1, r1 := mk(1)
+	s2, r2 := mk(2)
+	s3, r3 := mk(3)
+	c.Put("k1", s1, r1)
+	c.Put("k2", s2, r2)
+
+	if got, _, ok := c.Get("k1"); !ok || got != s1 {
+		t.Fatal("k1 miss after put")
+	}
+	// k2 is now LRU; inserting k3 evicts it.
+	c.Put("k3", s3, r3)
+	if _, _, ok := c.Get("k2"); ok {
+		t.Error("k2 survived past capacity")
+	}
+	if _, _, ok := c.Get("k1"); !ok {
+		t.Error("recently-used k1 evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction / 2 entries", st)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+}
+
+func TestSnapshotCacheNilSafe(t *testing.T) {
+	var c *SnapshotCache = NewSnapshotCache(0)
+	if c != nil {
+		t.Fatal("capacity 0 should disable the cache")
+	}
+	c.Put("k", config.NewStore(), &LoadReport{})
+	if _, _, ok := c.Get("k"); ok {
+		t.Error("nil cache returned a hit")
+	}
+	if c.Len() != 0 || c.Stats() != (SnapshotCacheStats{}) {
+		t.Error("nil cache stats not zero")
+	}
+}

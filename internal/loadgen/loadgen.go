@@ -11,6 +11,12 @@
 // payload into a fresh store, then validate it. Throughput numbers
 // from the two drivers are therefore directly comparable; the gap
 // between them is the transport plus admission overhead.
+//
+// The PayloadFor hook varies the payload per (worker, round) — the
+// cache experiments use it to model repeat and low-churn request
+// streams — and the HTTP driver passes the service's cache knobs
+// through and reports the server's cache counters alongside the
+// client-side latency percentiles.
 package loadgen
 
 import (
@@ -41,8 +47,26 @@ type Options struct {
 	// validates, in a driver-registered serialization (e.g. "xml").
 	Format  string
 	Payload []byte
+	// PayloadFor, when set, overrides Payload per round — the hook the
+	// cache experiments use to model repeat (constant) and low-churn
+	// (mostly-constant) request streams.
+	PayloadFor func(worker, round int) []byte
 	// Parallel is each session's engine parallelism (0 = per-core).
 	Parallel int
+
+	// Service-side cache configuration, HTTP driver only; passed through
+	// to serve.Config verbatim (0 = server default, negative = disable).
+	SnapshotCacheSize int
+	ResultCacheSize   int
+	NoIncremental     bool
+}
+
+// payload returns the round's configuration bytes.
+func (o Options) payload(worker, round int) []byte {
+	if o.PayloadFor != nil {
+		return o.PayloadFor(worker, round)
+	}
+	return o.Payload
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +98,17 @@ type Result struct {
 	GOMAXPROCS     int  `json:"gomaxprocs"`
 	HostCPUs       int  `json:"host_cpus"`
 	SingleCoreHost bool `json:"single_core_host"`
+
+	// Server-side counters, HTTP mode only: how many requests actually
+	// executed a validation versus being served by the result cache,
+	// coalesced onto an identical in-flight request, fed by the snapshot
+	// cache, or spliced incrementally. In-process mode leaves them zero.
+	ServerValidations int64 `json:"server_validations,omitempty"`
+	ResultCacheHits   int64 `json:"result_cache_hits,omitempty"`
+	Coalesced         int64 `json:"coalesced_requests,omitempty"`
+	SnapshotCacheHits int64 `json:"snapshot_cache_hits,omitempty"`
+	IncrementalRuns   int64 `json:"incremental_runs,omitempty"`
+	SpecsReused       int64 `json:"specs_reused,omitempty"`
 }
 
 // InProcess measures the library path: each worker owns a Session and
@@ -92,9 +127,9 @@ func InProcess(opts Options) (Result, error) {
 		sessions[w], progs[w] = s, prog
 	}
 	ctx := context.Background()
-	return run("in-process", opts, func(w int) error {
+	return run("in-process", opts, func(w, r int) error {
 		st := config.NewStore()
-		if _, err := driver.LoadInto(st, opts.Format, opts.Payload, "payload", ""); err != nil {
+		if _, err := driver.LoadInto(st, opts.Format, opts.payload(w, r), "payload", ""); err != nil {
 			return err
 		}
 		_, _, err := sessions[w].RunProgram(ctx, progs[w], st)
@@ -109,8 +144,11 @@ func InProcess(opts Options) (Result, error) {
 func HTTP(opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	srv := serve.New(serve.Config{
-		MaxConcurrent: opts.Workers,
-		Runner:        runner.Options{Parallel: opts.Parallel},
+		MaxConcurrent:     opts.Workers,
+		SnapshotCacheSize: opts.SnapshotCacheSize,
+		ResultCacheSize:   opts.ResultCacheSize,
+		NoIncremental:     opts.NoIncremental,
+		Runner:            runner.Options{Parallel: opts.Parallel},
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -123,18 +161,26 @@ func HTTP(opts Options) (Result, error) {
 	if _, err := clients[0].Register(ctx, "suite", opts.Spec); err != nil {
 		return Result{}, fmt.Errorf("loadgen: register: %w", err)
 	}
-	req := serve.ValidateRequest{Payloads: []serve.PayloadRef{{
-		Name: "payload", Format: opts.Format, Data: string(opts.Payload),
-	}}}
-	return run("http", opts, func(w int) error {
-		_, err := clients[w].Validate(ctx, "suite", req)
-		return err
+	res, err := run("http", opts, func(w, r int) error {
+		req := serve.ValidateRequest{Payloads: []serve.PayloadRef{{
+			Name: "payload", Format: opts.Format, Data: string(opts.payload(w, r)),
+		}}}
+		_, verr := clients[w].Validate(ctx, "suite", req)
+		return verr
 	})
+	st := srv.Stats()
+	res.ServerValidations = st.Validations
+	res.ResultCacheHits = st.ResultCacheHits
+	res.Coalesced = st.CoalescedRequests
+	res.SnapshotCacheHits = st.SnapshotCacheHits
+	res.IncrementalRuns = st.IncrementalRuns
+	res.SpecsReused = st.SpecsReused
+	return res, err
 }
 
 // run is the shared measurement core: Workers goroutines each execute
 // Rounds rounds, every round individually timed.
-func run(mode string, opts Options, round func(worker int) error) (Result, error) {
+func run(mode string, opts Options, round func(worker, round int) error) (Result, error) {
 	durs := make([]time.Duration, opts.Workers*opts.Rounds)
 	errs := make([]int, opts.Workers)
 	var firstErr error
@@ -149,7 +195,7 @@ func run(mode string, opts Options, round func(worker int) error) (Result, error
 			<-start
 			for r := 0; r < opts.Rounds; r++ {
 				t0 := time.Now()
-				err := round(w)
+				err := round(w, r)
 				durs[w*opts.Rounds+r] = time.Since(t0)
 				if err != nil {
 					errs[w]++

@@ -1,6 +1,9 @@
 package loadgen
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // A tiny corpus is enough to smoke both drivers: the harness must
 // complete every round without errors and report a coherent Result.
@@ -50,6 +53,49 @@ func TestHTTPSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkResult(t, res, "http")
+}
+
+// With the service caches on (the default), a constant payload stream
+// is served almost entirely from the result cache, and the harness
+// surfaces the server's counters; PayloadFor varies payloads per round
+// and defeats it.
+func TestHTTPCacheCounters(t *testing.T) {
+	opts := smokeOpts()
+	opts.Workers, opts.Rounds = 1, 4
+	res, err := HTTP(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerValidations != 1 || res.ResultCacheHits != 3 {
+		t.Errorf("constant payload: %d validations / %d hits, want 1 / 3",
+			res.ServerValidations, res.ResultCacheHits)
+	}
+
+	opts.PayloadFor = func(w, r int) []byte {
+		return []byte(fmt.Sprintf("app.timeout = %d\napp.host = db01\n", 100+r))
+	}
+	res, err = HTTP(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerValidations != 4 || res.ResultCacheHits != 0 {
+		t.Errorf("churned payloads: %d validations / %d hits, want 4 / 0",
+			res.ServerValidations, res.ResultCacheHits)
+	}
+	if res.IncrementalRuns != 3 {
+		t.Errorf("churned payloads took %d incremental runs, want 3", res.IncrementalRuns)
+	}
+
+	// Disabling every layer forces full validations with zero counters.
+	opts.SnapshotCacheSize, opts.ResultCacheSize, opts.NoIncremental = -1, -1, true
+	opts.PayloadFor = nil
+	res, err = HTTP(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerValidations != 4 || res.ResultCacheHits != 0 || res.IncrementalRuns != 0 {
+		t.Errorf("caches disabled: %+v", res)
+	}
 }
 
 // A spec that fails to compile must surface as an error from the

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCloneIsDeepAndSpliceable(t *testing.T) {
+	r := &Report{SpecsRun: 2, SpecsFailed: 1, InstancesChecked: 7}
+	r.Add(Violation{Seq: 0, SpecID: 0, Key: "a.b", Value: "9"})
+	r.AddSpecError(1, "boom")
+	r.NoteSpec(0, SpecOutcome{Instances: 5, Failed: true})
+	r.NoteSpec(1, SpecOutcome{Instances: 2, Errored: true})
+
+	c := r.Clone()
+	if !reflect.DeepEqual(r.Violations, c.Violations) || !reflect.DeepEqual(r.SpecErrors, c.SpecErrors) {
+		t.Fatal("clone content differs")
+	}
+	if !c.Tagged() {
+		t.Error("clone lost spec-error tags")
+	}
+	if o, ok := c.Outcome(0); !ok || !o.Failed || o.Instances != 5 {
+		t.Errorf("clone lost per-spec accounting: %+v, %t", o, ok)
+	}
+
+	// Mutations of the clone must not reach the original.
+	c.Violations[0].Value = "changed"
+	c.Add(Violation{Seq: 2})
+	c.AddSpecError(2, "extra")
+	c.NoteSpec(0, SpecOutcome{Instances: 99})
+	if r.Violations[0].Value != "9" || len(r.Violations) != 1 {
+		t.Error("clone mutation leaked into original violations")
+	}
+	if len(r.SpecErrors) != 1 || len(r.errSeq) != 1 {
+		t.Error("clone mutation leaked into original spec errors")
+	}
+	if o, _ := r.Outcome(0); o.Instances != 5 {
+		t.Error("clone mutation leaked into original per-spec map")
+	}
+}
+
+func TestCloneZeroValue(t *testing.T) {
+	var r Report
+	c := r.Clone()
+	if c == &r || len(c.Violations) != 0 || c.perSpec != nil {
+		t.Errorf("zero-value clone = %+v", c)
+	}
+}

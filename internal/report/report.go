@@ -306,6 +306,31 @@ func intsSorted(xs []int) bool {
 	return true
 }
 
+// Clone returns a deep copy: mutating the clone (or handing it to a
+// caller that will) leaves the original untouched, including the
+// per-spec splice accounting. Incremental runs whose delta touches no
+// spec return a clone of the previous report rather than re-deriving
+// it, so the clone must itself be spliceable by the next round.
+func (r *Report) Clone() *Report {
+	c := *r
+	if r.Violations != nil {
+		c.Violations = append([]Violation(nil), r.Violations...)
+	}
+	if r.SpecErrors != nil {
+		c.SpecErrors = append([]string(nil), r.SpecErrors...)
+	}
+	if r.errSeq != nil {
+		c.errSeq = append([]int(nil), r.errSeq...)
+	}
+	if r.perSpec != nil {
+		c.perSpec = make(map[int]SpecOutcome, len(r.perSpec))
+		for seq, o := range r.perSpec {
+			c.perSpec[seq] = o
+		}
+	}
+	return &c
+}
+
 // Reset clears the report for reuse, retaining allocated capacity. The
 // engine pools partition-local reports across runs; a recycled report
 // must start indistinguishable from a zero value.

@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"context"
+	"testing"
+)
+
+const cacheSpec = "$app.timeout -> int & [1, 60]\n$app.retries -> int & [0, 5]\n"
+
+func payloadJob(data string) Job {
+	return Job{SpecSrc: cacheSpec, Payloads: []Payload{{Name: "app.kv", Format: "kv", Data: []byte(data)}}}
+}
+
+// A repeated payload is served from the snapshot cache and, threaded
+// through Prev, reuses every spec verdict; a churned payload re-parses
+// and re-runs only the touched spec.
+func TestSnapshotCacheAndPrevState(t *testing.T) {
+	r := New(Options{SnapshotCache: 4})
+	ctx := context.Background()
+
+	res1, err := r.Run(ctx, payloadJob("app.timeout = 400\napp.retries = 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.SnapshotCached || res1.SnapshotHash == "" || res1.State == nil {
+		t.Fatalf("seed run: cached=%t hash=%q state=%v", res1.SnapshotCached, res1.SnapshotHash, res1.State)
+	}
+
+	job := payloadJob("app.timeout = 400\napp.retries = 2\n")
+	job.Prev = res1.State
+	res2, err := r.Run(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.SnapshotCached || res2.SnapshotHash != res1.SnapshotHash {
+		t.Errorf("repeat run not served from cache: cached=%t", res2.SnapshotCached)
+	}
+	if res2.Report.SpecsReused != res2.Report.SpecsRun || res2.Report.SpecsRun == 0 {
+		t.Errorf("repeat run reused %d of %d specs", res2.Report.SpecsReused, res2.Report.SpecsRun)
+	}
+	if len(res2.Report.Violations) != 1 || res2.Report.Violations[0].Key != "app.timeout" {
+		t.Errorf("repeat run violations = %+v", res2.Report.Violations)
+	}
+
+	churn := payloadJob("app.timeout = 30\napp.retries = 2\n")
+	churn.Prev = res2.State
+	res3, err := r.Run(ctx, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.SnapshotCached {
+		t.Error("distinct payload claimed a cache hit")
+	}
+	if res3.Report.SpecsReused != 1 {
+		t.Errorf("churn run reused %d specs, want 1 (retries untouched)", res3.Report.SpecsReused)
+	}
+	if !res3.Report.Passed() {
+		t.Errorf("churn run violations = %+v", res3.Report.Violations)
+	}
+
+	st := r.SnapshotCacheStats()
+	if st.Hits != 1 || st.Entries != 2 {
+		t.Errorf("snapshot cache stats = %+v, want 1 hit / 2 entries", st)
+	}
+}
+
+// Jobs that are not pure functions of their payload bytes never enter
+// the snapshot cache: spec-driven loads, degraded parses, or a
+// disabled cache.
+func TestSnapshotCacheGating(t *testing.T) {
+	ctx := context.Background()
+
+	// Disabled cache: no hash computed, no state lost.
+	r := New(Options{})
+	res, err := r.Run(ctx, payloadJob("app.timeout = 30\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapshotHash != "" || res.SnapshotCached {
+		t.Errorf("disabled cache still hashed: %+v", res)
+	}
+	if res.State == nil {
+		t.Error("explicit state should flow even without the snapshot cache")
+	}
+
+	// A malformed payload degrades (quarantine) and must not be cached:
+	// its outcome depends on loader history, not content.
+	r2 := New(Options{SnapshotCache: 4})
+	bad := Job{SpecSrc: cacheSpec, Payloads: []Payload{{Name: "app.json", Format: "json", Data: []byte("{broken")}}}
+	if _, err := r2.Run(ctx, bad); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.SnapshotCacheStats().Entries; got != 0 {
+		t.Errorf("degraded parse cached: %d entries", got)
+	}
+	if _, err := r2.Run(ctx, bad); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.SnapshotCacheStats().Hits; got != 0 {
+		t.Errorf("degraded parse hit the cache: %d hits", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"confvalley"
+	"confvalley/internal/ingest"
 )
 
 // Options configures a Runner; the fields mirror cvcheck's flags and
@@ -46,6 +47,13 @@ type Options struct {
 	MaxStale int
 	// LoadTimeout bounds each run (loading plus validation); 0 = none.
 	LoadTimeout time.Duration
+	// SnapshotCache bounds the content-addressed cache of parsed
+	// payload sets: a job whose payloads hash to a cached entry reuses
+	// the sealed store instead of parsing, and repeated payloads reduce
+	// to a snapshot-identity diff. 0 or negative disables the cache
+	// (the cvcheck default — file-backed sources are not
+	// content-addressable by name alone).
+	SnapshotCache int
 	// SpecDir resolves relative include paths.
 	SpecDir string
 	// Env answers dynamic predicate queries; nil keeps the session's
@@ -83,6 +91,17 @@ type Job struct {
 	Sources []confvalley.Source
 	// Payloads are in-memory configuration sources.
 	Payloads []Payload
+	// Prev threads a previous run's retained state into this one: when
+	// it was produced by an earlier job running the *same* compiled
+	// program, only the specs whose footprint overlaps the changed keys
+	// re-execute and the rest splice from the retained report. Ignored
+	// under Options.Incremental, which keeps the session-retained
+	// equivalent instead. The result's State carries this run forward.
+	Prev *confvalley.RunState
+	// PayloadHash optionally pre-supplies the content address of
+	// Payloads (runner.HashPayloads); empty computes it on demand when
+	// the snapshot cache is enabled.
+	PayloadHash string
 }
 
 // Result is one completed run: the validation report plus the load
@@ -99,6 +118,17 @@ type Result struct {
 	// Program is the compiled program the run executed — callers reuse
 	// it to skip recompilation, and tests compare identity.
 	Program *confvalley.Program
+	// State is the run's retained incremental state for a future job's
+	// Prev; nil under Options.Incremental, and unchanged from Prev when
+	// the run was interrupted.
+	State *confvalley.RunState
+	// SnapshotHash is the content address of the job's payload set,
+	// when one was computed (snapshot cache enabled and the job was
+	// content-addressable).
+	SnapshotHash string
+	// SnapshotCached reports that the payload parse was served from the
+	// snapshot cache.
+	SnapshotCached bool
 }
 
 // SourcesTotal counts every configuration source the run examined.
@@ -162,9 +192,10 @@ func (e *SpecError) Unwrap() error { return e.Err }
 // concurrent Run calls: each run builds and validates a private store,
 // and the published session store is only ever swapped whole.
 type Runner struct {
-	opts    Options
-	session *confvalley.Session
-	loader  *confvalley.Loader
+	opts      Options
+	session   *confvalley.Session
+	loader    *confvalley.Loader
+	snapCache *ingest.SnapshotCache // nil unless Options.SnapshotCache > 0
 
 	// mu guards the compiled-program cache. Program identity matters
 	// beyond speed: the plan cache and incremental splice state are
@@ -189,9 +220,10 @@ func New(opts Options) *Runner {
 		s.SetEnv(opts.Env)
 	}
 	return &Runner{
-		opts:    opts,
-		session: s,
-		loader:  confvalley.NewLoader(opts.MaxStale),
+		opts:      opts,
+		session:   s,
+		loader:    confvalley.NewLoader(opts.MaxStale),
+		snapCache: ingest.NewSnapshotCache(opts.SnapshotCache),
 	}
 }
 
@@ -229,12 +261,10 @@ func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
 		defer cancel()
 	}
 
-	st := confvalley.NewStore()
-	var dataRep *confvalley.LoadReport
-	if sources := r.ingestSources(job); len(sources) > 0 {
-		dataRep = r.loader.Load(ctx, st, sources)
-	}
-
+	// Resolve the program first: whether the parsed payloads are
+	// cacheable depends on it (a program with its own load commands
+	// appends to the store mid-run, so its store is not a pure function
+	// of the payload bytes).
 	prog := job.Prog
 	if prog == nil {
 		src := job.SpecSrc
@@ -251,17 +281,81 @@ func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
 		}
 	}
 
+	// A job is content-addressable when its configuration is carried
+	// entirely in payload bytes: no file/REST sources (same name, new
+	// content tomorrow) and no spec-driven loads.
+	hash := job.PayloadHash
+	cacheable := r.snapCache != nil && len(job.Sources) == 0 && len(job.Payloads) > 0 && len(prog.Loads) == 0
+	if cacheable && hash == "" {
+		hash = HashPayloads(job.Payloads)
+	}
+
+	var st *confvalley.Store
+	var dataRep *confvalley.LoadReport
+	cached := false
+	if cacheable {
+		st, dataRep, cached = r.snapCache.Get(hash)
+	}
+	if !cached {
+		st = confvalley.NewStore()
+		if sources := r.ingestSources(job); len(sources) > 0 {
+			dataRep = r.loader.Load(ctx, st, sources)
+		}
+		// Cache only clean, complete parses: a degraded outcome depends
+		// on the loader's last-good history, not just the bytes, and an
+		// interrupted one is missing sources — neither is a function of
+		// the content address. Sealing with the address now means every
+		// later hit shares this one snapshot, so diffs against state
+		// derived from it are O(1) identity checks.
+		if cacheable && dataRep != nil && !dataRep.Interrupted && !dataRep.Degraded() {
+			st.SetContentID(hash)
+			st.Snapshot()
+			r.snapCache.Put(hash, st, dataRep)
+		}
+	}
+
 	r.session.SwapStore(st)
-	rep, specLoads, err := r.session.RunProgram(ctx, prog, st)
+	res := &Result{Data: dataRep, Program: prog, SnapshotHash: hash, SnapshotCached: cached}
+	var specLoads *confvalley.LoadReport
+	var err error
+	if r.opts.Incremental {
+		// Session-retained incremental state (cvcheck watch): one
+		// lineage per session, Prev ignored.
+		res.Report, specLoads, err = r.session.RunProgram(ctx, prog, st)
+	} else {
+		res.Report, specLoads, res.State, err = r.session.RunProgramIncremental(ctx, prog, st, job.Prev)
+	}
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Report: rep, Data: dataRep, Program: prog}
 	if len(prog.Loads) > 0 {
 		res.SpecLoads = specLoads
 	}
 	return res, nil
 }
+
+// HashPayloads returns the content address of a payload set, or "" for
+// an empty one. The driver name is normalized through the same
+// extension inference loading uses, so an explicit format and an
+// inferred identical one share an address.
+func HashPayloads(ps []Payload) string {
+	if len(ps) == 0 {
+		return ""
+	}
+	ds := make([]string, len(ps))
+	for i, p := range ps {
+		format := p.Format
+		if format == "" {
+			format = ingest.FormatFromPath(p.Name)
+		}
+		ds[i] = ingest.SourceDigest(p.Name, format, p.Scope, p.Data)
+	}
+	return ingest.CombineDigests(ds)
+}
+
+// SnapshotCacheStats returns the runner's snapshot-cache counters;
+// zero when the cache is disabled.
+func (r *Runner) SnapshotCacheStats() ingest.SnapshotCacheStats { return r.snapCache.Stats() }
 
 // ingestSources merges the job's file/REST sources and in-memory
 // payloads into one loader batch, payloads last so their accounting

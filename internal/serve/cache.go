@@ -1,0 +1,234 @@
+package serve
+
+// The service-side result cache: layer 3 of the request-caching stack
+// (DESIGN.md §12). Each tenant holds one bounded LRU mapping (spec
+// name, registration nonce, payload content address) → the completed
+// ValidateResponse, plus a single-flight table so identical requests
+// in flight share one validation instead of racing N copies of the
+// same work through admission control.
+//
+// Invalidation is strict by construction: the key embeds the spec's
+// registration nonce, so re-registering a name orphans every cached
+// entry for the old program even before the purge removes them, and a
+// payload byte that differs anywhere changes the content address.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is one tenant's response cache. A nil *resultCache is a
+// valid, disabled cache: every lookup misses and every request leads
+// its own flight.
+//
+// Two LRUs share the lock: the canonical (payload-hash) cache, whose
+// capacity is what ResultCacheSize configures, and an equally-bounded
+// side table of raw-body aliases (sha256 of the undecoded request →
+// the same responses) so alias churn can never evict canonical
+// entries. Alias hits count as hits; alias evictions are not
+// surfaced — Evictions reports canonical responses dropped.
+type resultCache struct {
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+	rawLL    *list.List
+	rawItems map[string]*list.Element
+	flights  map[string]*flight
+
+	hits, misses, coalesced, evictions int64
+}
+
+type resultEntry struct {
+	key  string
+	resp *ValidateResponse
+}
+
+// flight is one in-progress validation that identical concurrent
+// requests wait on instead of re-running.
+type flight struct {
+	done chan struct{}
+	resp *ValidateResponse
+	err  error
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:      capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+		rawLL:    list.New(),
+		rawItems: make(map[string]*list.Element, capacity),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// get returns the cached response for a key.
+func (c *resultCache) get(key string) (*ValidateResponse, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*resultEntry).resp, true
+}
+
+// join enters the single-flight table: the first caller for a key
+// becomes the leader (leader == true) and must call complete exactly
+// once; later callers get the same flight to wait on. A nil cache
+// makes every caller a leader with a nil flight.
+func (c *resultCache) join(key string) (f *flight, leader bool) {
+	if c == nil {
+		return nil, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		c.coalesced++
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return f, true
+}
+
+// complete resolves the leader's flight, waking every coalesced waiter,
+// and inserts the response into the LRU when store is set.
+func (c *resultCache) complete(key string, f *flight, resp *ValidateResponse, err error, store bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	delete(c.flights, key)
+	if store && err == nil && resp != nil {
+		c.insertLocked(key, resp)
+	}
+	c.mu.Unlock()
+	f.resp, f.err = resp, err
+	close(f.done)
+}
+
+// getRaw looks up a raw-body alias.
+func (c *resultCache) getRaw(key string) (*ValidateResponse, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.rawItems[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.rawLL.MoveToFront(el)
+	return el.Value.(*resultEntry).resp, true
+}
+
+// putRaw stores a raw-body alias, outside the single-flight protocol.
+// Callers gate cacheability themselves.
+func (c *resultCache) putRaw(key string, resp *ValidateResponse) {
+	if c == nil || key == "" || resp == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.rawItems[key]; ok {
+		c.rawLL.MoveToFront(el)
+		el.Value.(*resultEntry).resp = resp
+		return
+	}
+	c.rawItems[key] = c.rawLL.PushFront(&resultEntry{key: key, resp: resp})
+	for c.rawLL.Len() > c.cap {
+		back := c.rawLL.Back()
+		c.rawLL.Remove(back)
+		delete(c.rawItems, back.Value.(*resultEntry).key)
+	}
+}
+
+// insertLocked adds or refreshes one canonical LRU entry and trims to
+// capacity.
+func (c *resultCache) insertLocked(key string, resp *ValidateResponse) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*resultEntry).resp = resp
+		return
+	}
+	c.items[key] = c.ll.PushFront(&resultEntry{key: key, resp: resp})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*resultEntry).key)
+		c.evictions++
+	}
+}
+
+// purge drops every cached entry whose key starts with prefix — the
+// re-registration and deletion hook (prefix = spec name + separator).
+// In-flight leaders are untouched; their keys carry the old
+// registration nonce, so whatever they insert afterwards can never be
+// served for the new program.
+func (c *resultCache) purge(prefix string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+	}
+	for key, el := range c.rawItems {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			c.rawLL.Remove(el)
+			delete(c.rawItems, key)
+		}
+	}
+}
+
+// entries returns the number of cached responses.
+func (c *resultCache) entries() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// ResultCacheStats is one tenant's result-cache counter block.
+type ResultCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// stats returns the counters; zero for a disabled cache.
+func (c *resultCache) stats() ResultCacheStats {
+	if c == nil {
+		return ResultCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ResultCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+	}
+}

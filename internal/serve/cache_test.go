@@ -1,0 +1,286 @@
+package serve
+
+// The caching contract of the service hot path: whichever layer serves
+// a request — the result cache, a coalesced flight, the snapshot cache
+// feeding an incremental run, or a cold full run — the wire report is
+// byte-identical modulo the timing and reuse-accounting fields
+// (duration_ns, specs_reused). These tests pin that, plus the bounds
+// and invalidation rules that make the caches safe to leave on.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"confvalley/internal/report"
+)
+
+// coldConfig disables every service-side cache layer: each request is
+// a full parse + full run, the baseline the cached paths must match.
+func coldConfig() Config {
+	return Config{SnapshotCacheSize: -1, ResultCacheSize: -1, NoIncremental: true}
+}
+
+// wireModuloCaching re-encodes a wire report with the fields the
+// caching layers are allowed to change zeroed: duration_ns (timing)
+// and specs_reused (reuse accounting).
+func wireModuloCaching(t *testing.T, w *report.Wire) []byte {
+	t.Helper()
+	cp := *w
+	cp.DurationNS = 0
+	cp.SpecsReused = 0
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+const cacheSpec = `$app.timeout -> int & [1, 60]
+$app.retries -> int & [0, 5]
+$db.host -> nonempty
+`
+
+func kvRequest(data string) ValidateRequest {
+	return ValidateRequest{Payloads: []PayloadRef{{Name: "app.kv", Format: "kv", Data: data}}}
+}
+
+// A repeated request is served from the result cache — no validation
+// slot consumed, no run executed — and its body is byte-identical to
+// the cold run's, modulo duration and reuse accounting.
+func TestResultCacheRepeatByteIdentity(t *testing.T) {
+	const data = "app.timeout = 400\napp.retries = 2\ndb.host = db1\n"
+	ctx := context.Background()
+
+	_, cold := testClient(t, coldConfig())
+	if _, err := cold.Register(ctx, "checks", cacheSpec); err != nil {
+		t.Fatal(err)
+	}
+	coldResp, err := cold.Validate(ctx, "checks", kvRequest(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, c := testClient(t, Config{})
+	if _, err := c.Register(ctx, "checks", cacheSpec); err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Validate(ctx, "checks", kvRequest(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Validate(ctx, "checks", kvRequest(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := wireModuloCaching(t, coldResp.Report)
+	for i, resp := range []*ValidateResponse{first, second} {
+		if got := wireModuloCaching(t, resp.Report); !bytes.Equal(got, want) {
+			t.Errorf("request %d diverged from cold run:\n got: %s\nwant: %s", i, got, want)
+		}
+		if resp.Code != coldResp.Code {
+			t.Errorf("request %d code = %d, cold = %d", i, resp.Code, coldResp.Code)
+		}
+	}
+
+	st := srv.Stats()
+	if st.Validations != 1 {
+		t.Errorf("validations = %d, want 1 (repeat must be a cache hit)", st.Validations)
+	}
+	if st.ResultCacheHits != 1 {
+		t.Errorf("result cache hits = %d, want 1", st.ResultCacheHits)
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].Caches.ResultCache.Entries != 1 {
+		t.Errorf("tenant cache stats = %+v", st.Tenants)
+	}
+
+	// The health endpoint surfaces the same per-tenant counters.
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Caches) != 1 || h.Caches[0].ResultCache.Hits != 1 {
+		t.Errorf("health cache block = %+v", h.Caches)
+	}
+}
+
+// A low-churn request stream — each payload differs from the previous
+// in one key — takes the incremental path (snapshot diff, spec-level
+// reuse) yet stays byte-identical to running every request cold.
+func TestIncrementalChurnMatchesFullRuns(t *testing.T) {
+	ctx := context.Background()
+	_, cold := testClient(t, coldConfig())
+	srv, warm := testClient(t, Config{})
+	for _, c := range []*Client{cold, warm} {
+		if _, err := c.Register(ctx, "checks", cacheSpec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for round := 0; round < 5; round++ {
+		data := fmt.Sprintf("app.timeout = %d\napp.retries = 2\ndb.host = db1\n", 10+round)
+		coldResp, err := cold.Validate(ctx, "checks", kvRequest(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmResp, err := warm.Validate(ctx, "checks", kvRequest(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := wireModuloCaching(t, warmResp.Report), wireModuloCaching(t, coldResp.Report)
+		if !bytes.Equal(got, want) {
+			t.Errorf("round %d diverged:\nincremental: %s\n       cold: %s", round, got, want)
+		}
+		if round > 0 && warmResp.Report.SpecsReused != 2 {
+			t.Errorf("round %d reused %d specs, want 2 (only $app.timeout churned)",
+				round, warmResp.Report.SpecsReused)
+		}
+	}
+
+	st := srv.Stats()
+	if st.IncrementalRuns != 4 || st.SpecsReused != 8 {
+		t.Errorf("incremental accounting = %d runs / %d reused, want 4 / 8",
+			st.IncrementalRuns, st.SpecsReused)
+	}
+	if st.ResultCacheHits != 0 {
+		t.Errorf("distinct payloads hit the result cache %d times", st.ResultCacheHits)
+	}
+}
+
+// The result cache is LRU-bounded: overflowing it evicts the oldest
+// entry, and a request for an evicted payload validates again.
+func TestResultCacheEviction(t *testing.T) {
+	ctx := context.Background()
+	srv, c := testClient(t, Config{ResultCacheSize: 2})
+	if _, err := c.Register(ctx, "checks", cacheSpec); err != nil {
+		t.Fatal(err)
+	}
+	payload := func(i int) ValidateRequest {
+		return kvRequest(fmt.Sprintf("app.timeout = %d\napp.retries = 1\ndb.host = db1\n", 10+i))
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Validate(ctx, "checks", payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	rc := st.Tenants[0].Caches.ResultCache
+	if rc.Entries != 2 || rc.Evictions != 1 {
+		t.Errorf("after overflow: %+v, want 2 entries / 1 eviction", rc)
+	}
+
+	// Payload 0 was evicted; payload 2 is still resident.
+	if _, err := c.Validate(ctx, "checks", payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Validate(ctx, "checks", payload(2)); err != nil {
+		t.Fatal(err)
+	}
+	st = srv.Stats()
+	if st.Validations != 4 {
+		t.Errorf("validations = %d, want 4 (evicted payload re-runs, resident one hits)", st.Validations)
+	}
+	if st.ResultCacheHits != 1 {
+		t.Errorf("result cache hits = %d, want 1", st.ResultCacheHits)
+	}
+}
+
+// Re-registering a spec invalidates every cached response for it: the
+// same payload re-validates under the new program, never serving the
+// old program's verdict.
+func TestReregistrationInvalidatesResultCache(t *testing.T) {
+	ctx := context.Background()
+	srv, c := testClient(t, Config{})
+	const data = "app.timeout = 400\n"
+	if _, err := c.Register(ctx, "checks", "$app.timeout -> int & [1, 60]"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Validate(ctx, "checks", kvRequest(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Report.Passed {
+		t.Fatal("400 should violate [1, 60]")
+	}
+
+	// Widen the range; the cached failure must not survive.
+	if _, err := c.Register(ctx, "checks", "$app.timeout -> int & [1, 1000]"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Validate(ctx, "checks", kvRequest(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Report.Passed {
+		t.Errorf("re-registered spec served stale verdict: %+v", resp.Report.Violations)
+	}
+	if st := srv.Stats(); st.Validations != 2 || st.ResultCacheHits != 0 {
+		t.Errorf("stats = %d validations / %d hits, want 2 / 0", st.Validations, st.ResultCacheHits)
+	}
+}
+
+// TestConcurrentCoalescedValidate hammers one tenant with identical
+// concurrent requests. Single-flight plus the result cache must account
+// for every request (hits + coalesced + validations = total), agree on
+// the response bytes, and keep actual validations far below the request
+// count. Run with -race; the stress suite picks this up by name.
+func TestConcurrentCoalescedValidate(t *testing.T) {
+	ctx := context.Background()
+	srv, c := testClient(t, Config{MaxConcurrent: 4, MaxQueue: 256})
+	if _, err := c.Register(ctx, "checks", cacheSpec); err != nil {
+		t.Fatal(err)
+	}
+	const data = "app.timeout = 30\napp.retries = 2\ndb.host = db1\n"
+
+	const workers = 16
+	const rounds = 8
+	var wg sync.WaitGroup
+	bodies := make(chan []byte, workers*rounds)
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				resp, err := c.Validate(ctx, "checks", kvRequest(data))
+				if err != nil {
+					errs <- err
+					return
+				}
+				bodies <- wireModuloCaching(t, resp.Report)
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(bodies)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var want []byte
+	for b := range bodies {
+		if want == nil {
+			want = b
+		} else if !bytes.Equal(b, want) {
+			t.Fatalf("coalesced responses diverged:\n got: %s\nwant: %s", b, want)
+		}
+	}
+
+	st := srv.Stats()
+	total := st.Validations + st.ResultCacheHits + st.CoalescedRequests
+	if total != workers*rounds {
+		t.Errorf("accounting leak: %d validations + %d hits + %d coalesced = %d, want %d",
+			st.Validations, st.ResultCacheHits, st.CoalescedRequests, total, workers*rounds)
+	}
+	if st.Validations < 1 || st.Validations > workers {
+		t.Errorf("validations = %d, want 1..%d (identical requests must coalesce)", st.Validations, workers)
+	}
+}

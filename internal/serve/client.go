@@ -8,6 +8,19 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
+)
+
+// DefaultTimeout bounds each request of a Client whose Timeout is zero.
+// A validation service client must never hang forever on a stuck server
+// by default; callers who really want no bound set Timeout negative.
+const DefaultTimeout = 60 * time.Second
+
+// Package-level clients so every serve.Client shares connection pools
+// (http.Transport keep-alives) instead of re-dialing per request.
+var (
+	defaultHTTPClient   = &http.Client{Timeout: DefaultTimeout}
+	unboundedHTTPClient = &http.Client{}
 )
 
 // Client is the thin Go client cvcall wraps: one method per endpoint,
@@ -18,15 +31,29 @@ type Client struct {
 	Base string
 	// Tenant scopes every spec operation.
 	Tenant string
-	// HTTP overrides the transport; nil uses http.DefaultClient.
+	// HTTP overrides the transport; nil picks a shared client by
+	// Timeout. Note an explicit HTTP client carries its own Timeout
+	// policy — http.DefaultClient has none.
 	HTTP *http.Client
+	// Timeout bounds each request when HTTP is nil: zero means
+	// DefaultTimeout, negative means no bound. Per-call contexts still
+	// apply either way and win when shorter.
+	Timeout time.Duration
 }
 
 func (c *Client) http() *http.Client {
-	if c.HTTP != nil {
+	switch {
+	case c.HTTP != nil:
 		return c.HTTP
+	case c.Timeout < 0:
+		return unboundedHTTPClient
+	case c.Timeout == 0:
+		return defaultHTTPClient
+	default:
+		// A custom bound still shares the default transport (zero
+		// Transport field), so connection reuse is preserved.
+		return &http.Client{Timeout: c.Timeout}
 	}
-	return http.DefaultClient
 }
 
 func (c *Client) url(parts ...string) string {

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The client must never default to an unbounded request: nil HTTP and
+// zero Timeout picks the shared DefaultTimeout client, negative opts
+// out explicitly, and an explicit HTTP client is used verbatim.
+func TestClientTimeoutSelection(t *testing.T) {
+	c := &Client{Base: "http://x", Tenant: "t"}
+	if got := c.http(); got != defaultHTTPClient || got.Timeout != DefaultTimeout {
+		t.Errorf("zero Timeout picked %+v, want shared default (%v)", got, DefaultTimeout)
+	}
+
+	c.Timeout = -1
+	if got := c.http(); got != unboundedHTTPClient || got.Timeout != 0 {
+		t.Errorf("negative Timeout picked %+v, want shared unbounded client", got)
+	}
+
+	c.Timeout = 250 * time.Millisecond
+	if got := c.http(); got.Timeout != c.Timeout || got.Transport != nil {
+		t.Errorf("custom Timeout = %+v, want %v on the default transport", got, c.Timeout)
+	}
+
+	own := &http.Client{Timeout: time.Second}
+	c.HTTP = own
+	if got := c.http(); got != own {
+		t.Errorf("explicit HTTP client not used verbatim: %+v", got)
+	}
+}
+
+// A stuck server fails the request at the client's Timeout instead of
+// hanging forever.
+func TestClientTimeoutFiresOnStuckServer(t *testing.T) {
+	// Unblock the handler before hs.Close (which waits for in-flight
+	// requests): LIFO defers run close(release) first.
+	release := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer hs.Close()
+	defer close(release)
+
+	c := &Client{Base: hs.URL, Tenant: "acme", Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("request against a stuck server succeeded")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("unexpected cancellation: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v, want ~50ms", elapsed)
+	}
+}

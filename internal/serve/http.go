@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 )
@@ -59,15 +60,16 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("POST /v1/tenants/{tenant}/specs/{spec}/validate", func(w http.ResponseWriter, r *http.Request) {
-		// The decode bound leaves headroom over the payload quota for
-		// JSON framing; the precise byte quota is enforced in Validate.
-		body := http.MaxBytesReader(w, r.Body, 2*s.cfg.Quotas.MaxPayloadBytes+(1<<20))
-		var req ValidateRequest
-		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errBody("decoding request body: "+err.Error()))
+		// The read bound leaves headroom over the payload quota for JSON
+		// framing; the precise byte quota is enforced in Validate. The
+		// whole body is read up front so ValidateBody can content-address
+		// the raw bytes before paying for a JSON decode.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 2*s.cfg.Quotas.MaxPayloadBytes+(1<<20)))
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: reading request body: %v", ErrTooLarge, err))
 			return
 		}
-		resp, err := s.Validate(r.Context(), r.PathValue("tenant"), r.PathValue("spec"), req)
+		resp, err := s.ValidateBody(r.Context(), r.PathValue("tenant"), r.PathValue("spec"), body)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -98,7 +100,7 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &badSpec):
 		status = http.StatusBadRequest
-	case errors.Is(err, ErrBadName):
+	case errors.Is(err, ErrBadName), errors.Is(err, ErrBadRequest):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrNotFound):
 		status = http.StatusNotFound

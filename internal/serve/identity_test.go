@@ -86,7 +86,16 @@ $db.host -> nonempty
 // across rounds within one tenant) produces a violation. Run with
 // -race; the stress suite picks this up by name.
 func TestConcurrentTenantsPinIndependentSnapshots(t *testing.T) {
-	srv := New(Config{MaxConcurrent: 8, MaxQueue: 64})
+	// Caching is disabled here on purpose: this test pins isolation by
+	// counting real validations, so every round must execute rather than
+	// be served from the result or snapshot cache.
+	srv := New(Config{
+		MaxConcurrent:     8,
+		MaxQueue:          64,
+		SnapshotCacheSize: -1,
+		ResultCacheSize:   -1,
+		NoIncremental:     true,
+	})
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 	ctx := context.Background()

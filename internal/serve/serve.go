@@ -16,6 +16,9 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"regexp"
@@ -45,6 +48,8 @@ var (
 	ErrTooLarge = errors.New("serve: payload too large")
 	// ErrBadName: tenant or spec name outside the allowed alphabet.
 	ErrBadName = errors.New("serve: bad name")
+	// ErrBadRequest: a request body that does not decode.
+	ErrBadRequest = errors.New("serve: bad request")
 )
 
 // BadSpecError wraps a CPL compile failure: the client's spec is at
@@ -112,8 +117,24 @@ type Config struct {
 	// QueueWait bounds how long a queued request waits for a slot
 	// before ErrBusy (default 10s).
 	QueueWait time.Duration
+	// SnapshotCacheSize bounds each tenant's content-addressed cache of
+	// parsed payload sets: a request whose payload bytes match a cached
+	// entry reuses the sealed store instead of re-parsing. Default 8;
+	// negative disables.
+	SnapshotCacheSize int
+	// ResultCacheSize bounds each tenant's (spec, payload content) →
+	// response cache, which also coalesces identical in-flight requests
+	// into one validation. Default 256; negative disables.
+	ResultCacheSize int
+	// NoIncremental disables cross-request incremental validation: with
+	// it set, every request that misses the result cache runs every
+	// spec, instead of re-running only the specs whose footprint
+	// overlaps the keys changed since the spec's last validated
+	// snapshot.
+	NoIncremental bool
 	// Runner configures each tenant's validation pipeline (parallelism,
-	// incremental mode, staleness policy).
+	// staleness policy). Its SnapshotCache field is overwritten from
+	// SnapshotCacheSize.
 	Runner runner.Options
 }
 
@@ -153,6 +174,19 @@ func New(cfg Config) *Server {
 	if cfg.QueueWait == 0 {
 		cfg.QueueWait = 10 * time.Second
 	}
+	switch {
+	case cfg.SnapshotCacheSize == 0:
+		cfg.SnapshotCacheSize = 8
+	case cfg.SnapshotCacheSize < 0:
+		cfg.SnapshotCacheSize = 0
+	}
+	switch {
+	case cfg.ResultCacheSize == 0:
+		cfg.ResultCacheSize = 256
+	case cfg.ResultCacheSize < 0:
+		cfg.ResultCacheSize = 0
+	}
+	cfg.Runner.SnapshotCache = cfg.SnapshotCacheSize
 	return &Server{
 		cfg:     cfg,
 		start:   time.Now(),
@@ -221,7 +255,7 @@ func (s *Server) tenantFor(name string, create bool) (*tenant, error) {
 		s.denied.Add(1)
 		return nil, fmt.Errorf("%w: tenant limit %d reached", ErrQuota, s.cfg.Quotas.MaxTenants)
 	}
-	t = newTenant(name, s.cfg.Runner)
+	t = newTenant(name, s.cfg.Runner, s.cfg.ResultCacheSize)
 	s.tenants[name] = t
 	return t, nil
 }
@@ -274,10 +308,25 @@ func (s *Server) DeleteSpec(tenantName, specName string) error {
 }
 
 // Validate runs one registered spec against the request's payloads and
-// source pointers under admission control, returning the wire-format
-// report plus load accounting. The run goes through the tenant's
-// runner — the identical code path cvcheck uses — so a report obtained
-// here matches the CLI's for the same inputs.
+// source pointers, returning the wire-format report plus load
+// accounting. The run goes through the tenant's runner — the identical
+// code path cvcheck uses — so a report obtained here matches the CLI's
+// for the same inputs, whichever cache layer serves it:
+//
+//  1. a request whose payload content address matches a cached response
+//     for the same registration returns it outright, before admission
+//     control (a cache hit consumes no validation slot);
+//  2. an identical request already in flight is coalesced onto it
+//     (single-flight) instead of validating twice;
+//  3. a miss validates under admission control, re-parsing only
+//     payloads the snapshot cache has not seen and re-running only the
+//     specs whose footprint the payload delta touches (cross-request
+//     incremental validation, unless NoIncremental).
+//
+// Requests that are not pure functions of their payload bytes —
+// server-side sources, specs with their own load commands, degraded or
+// interrupted runs — skip layers 1 and 2 entirely and are never
+// cached.
 func (s *Server) Validate(ctx context.Context, tenantName, specName string, req ValidateRequest) (*ValidateResponse, error) {
 	t, err := s.tenantFor(tenantName, false)
 	if err != nil {
@@ -287,15 +336,50 @@ func (s *Server) Validate(ctx context.Context, tenantName, specName string, req 
 	if err != nil {
 		return nil, err
 	}
-	if err := s.checkRequestQuotas(req); err != nil {
-		return nil, err
-	}
+	return s.validateReq(ctx, t, entry, req, "")
+}
 
-	release, err := s.acquire(ctx)
+// ValidateBody is the transport's entry point: it content-addresses the
+// raw request body *before* JSON decoding, so a byte-identical repeat
+// of a cached request skips decode, payload hashing, and the run
+// entirely — the cheapest hit the service can serve. The raw-body key
+// is an alias stored next to the canonical payload-hash entry (only
+// for responses that entry admits), and it embeds the registration
+// nonce, so re-registration invalidates both together. A raw hit skips
+// the per-request quota checks; the identical bytes already passed them
+// when the entry was populated, and quotas are fixed per server.
+func (s *Server) ValidateBody(ctx context.Context, tenantName, specName string, body []byte) (*ValidateResponse, error) {
+	t, err := s.tenantFor(tenantName, false)
 	if err != nil {
 		return nil, err
 	}
-	defer release()
+	entry, err := t.spec(specName)
+	if err != nil {
+		return nil, err
+	}
+	var rawKey string
+	if t.results != nil {
+		sum := sha256.Sum256(body)
+		rawKey = entry.cacheKey("raw" + keySep + hex.EncodeToString(sum[:]))
+		if resp, ok := t.results.getRaw(rawKey); ok {
+			entry.lastResp.Store(resp)
+			return resp, nil
+		}
+	}
+	var req ValidateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, fmt.Errorf("%w: decoding request body: %v", ErrBadRequest, err)
+	}
+	return s.validateReq(ctx, t, entry, req, rawKey)
+}
+
+// validateReq runs one parsed request through the cache stack. rawKey,
+// when non-empty, is the transport's raw-body alias to populate
+// whenever a cacheable response is produced or found.
+func (s *Server) validateReq(ctx context.Context, t *tenant, entry *specEntry, req ValidateRequest, rawKey string) (*ValidateResponse, error) {
+	if err := s.checkRequestQuotas(req); err != nil {
+		return nil, err
+	}
 
 	job := runner.Job{Prog: entry.prog}
 	for _, p := range req.Payloads {
@@ -308,15 +392,81 @@ func (s *Server) Validate(ctx context.Context, tenantName, specName string, req 
 			Name: src.Name, Format: src.Format, Scope: src.Scope,
 		})
 	}
+
+	var key string
+	if t.results != nil && len(req.Sources) == 0 && len(req.Payloads) > 0 && len(entry.prog.Loads) == 0 {
+		job.PayloadHash = runner.HashPayloads(job.Payloads)
+		key = entry.cacheKey(job.PayloadHash)
+	}
+	if key == "" {
+		// Not a pure function of the payload bytes — never cached, and
+		// the raw alias must not be stored either.
+		return s.validate(ctx, t, entry, job)
+	}
+	for {
+		if resp, ok := t.results.get(key); ok {
+			t.results.putRaw(rawKey, resp)
+			entry.lastResp.Store(resp)
+			return resp, nil
+		}
+		f, leader := t.results.join(key)
+		if !leader {
+			select {
+			case <-f.done:
+				if f.err == nil {
+					t.results.putRaw(rawKey, f.resp)
+					entry.lastResp.Store(f.resp)
+					return f.resp, nil
+				}
+				if ctx.Err() == nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+					// The leader died of its own cancellation; this
+					// caller is still live, so retry as its own leader
+					// rather than inherit a stranger's deadline.
+					continue
+				}
+				return nil, f.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		resp, err := s.validate(ctx, t, entry, job)
+		ok := cacheableResponse(resp, err)
+		t.results.complete(key, f, resp, err, ok)
+		if ok {
+			t.results.putRaw(rawKey, resp)
+		}
+		return resp, err
+	}
+}
+
+// validate runs one job under admission control, routing it through the
+// spec's cross-request incremental lineage and accounting the outcome.
+func (s *Server) validate(ctx context.Context, t *tenant, entry *specEntry, job runner.Job) (*ValidateResponse, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	if !s.cfg.NoIncremental {
+		job.Prev = entry.state.Load()
+	}
 	res, err := t.runner.Run(ctx, job)
 	if err != nil {
 		return nil, err
 	}
+	if !s.cfg.NoIncremental && res.State != nil && !res.Report.Interrupted {
+		entry.state.Store(res.State)
+	}
+	if n := res.Report.SpecsReused; n > 0 {
+		t.incrementalRuns.Add(1)
+		t.specsReused.Add(int64(n))
+	}
 	s.validations.Add(1)
 	s.violations.Add(int64(len(res.Report.Violations)))
 	resp := &ValidateResponse{
-		Tenant:           tenantName,
-		Spec:             specName,
+		Tenant:           t.name,
+		Spec:             entry.name,
 		Report:           res.Report.Wire(),
 		Load:             res.Data,
 		SpecLoads:        res.SpecLoads,
@@ -325,6 +475,19 @@ func (s *Server) Validate(ctx context.Context, tenantName, specName string, req 
 	}
 	entry.lastResp.Store(resp)
 	return resp, nil
+}
+
+// cacheableResponse gates what the result cache may retain: only
+// complete, non-degraded runs are pure functions of the request's
+// content address.
+func cacheableResponse(resp *ValidateResponse, err error) bool {
+	if err != nil || resp == nil || resp.Report == nil || resp.Report.Interrupted {
+		return false
+	}
+	if resp.Load != nil && (resp.Load.Interrupted || resp.Load.Degraded()) {
+		return false
+	}
+	return true
 }
 
 // checkRequestQuotas enforces the per-request source-count and
@@ -364,20 +527,46 @@ func (s *Server) LastReport(tenantName, specName string) (*ValidateResponse, err
 	return resp, nil
 }
 
-// Health summarizes liveness for the health endpoint.
+// Health summarizes liveness for the health endpoint, including each
+// tenant's cache counters — the at-a-glance view of whether the
+// caching layers are earning their memory.
 func (s *Server) Health() HealthInfo {
-	s.mu.RLock()
-	tenants := len(s.tenants)
-	s.mu.RUnlock()
-	return HealthInfo{
+	info := HealthInfo{
 		Status:          "ok",
 		Version:         confvalley.Version,
 		SchemaVersion:   report.SchemaVersion,
 		UptimeSeconds:   int64(time.Since(s.start).Seconds()),
-		Tenants:         tenants,
 		InFlight:        len(s.sem),
 		Queued:          int(s.queued.Load()),
 		CanceledWaiting: s.canceledWaiting.Load(),
+	}
+	for _, t := range s.tenantsSorted() {
+		info.Tenants++
+		info.Caches = append(info.Caches, t.cacheInfo())
+	}
+	return info
+}
+
+// tenantsSorted snapshots the tenant table in name order.
+func (s *Server) tenantsSorted() []*tenant {
+	s.mu.RLock()
+	out := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, t)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// cacheInfo assembles one tenant's cache counter block.
+func (t *tenant) cacheInfo() TenantCaches {
+	return TenantCaches{
+		Name:            t.name,
+		SnapshotCache:   t.runner.SnapshotCacheStats(),
+		ResultCache:     t.results.stats(),
+		IncrementalRuns: t.incrementalRuns.Load(),
+		SpecsReused:     t.specsReused.Load(),
 	}
 }
 
@@ -399,21 +588,8 @@ func (s *Server) Stats() StatsInfo {
 		PlanCacheHits:   hits,
 		PlanCacheMisses: misses,
 	}
-	s.mu.RLock()
-	names := make([]string, 0, len(s.tenants))
-	for name := range s.tenants {
-		names = append(names, name)
-	}
-	s.mu.RUnlock()
-	sort.Strings(names)
-	for _, name := range names {
-		s.mu.RLock()
-		t := s.tenants[name]
-		s.mu.RUnlock()
-		if t == nil {
-			continue
-		}
-		ts := TenantStats{Name: name, Specs: len(t.list())}
+	for _, t := range s.tenantsSorted() {
+		ts := TenantStats{Name: t.name, Specs: len(t.list())}
 		st := t.runner.Session().Store()
 		ts.DiscoveryQueries = st.Stats.Queries()
 		ts.DiscoveryCacheHits = st.Stats.CacheHits()
@@ -423,6 +599,12 @@ func (s *Server) Stats() StatsInfo {
 			ts.SourcesStale = lr.Stale()
 			ts.SourcesQuarantined = lr.Quarantined()
 		}
+		ts.Caches = t.cacheInfo()
+		info.ResultCacheHits += ts.Caches.ResultCache.Hits
+		info.CoalescedRequests += ts.Caches.ResultCache.Coalesced
+		info.SnapshotCacheHits += ts.Caches.SnapshotCache.Hits
+		info.IncrementalRuns += ts.Caches.IncrementalRuns
+		info.SpecsReused += ts.Caches.SpecsReused
 		info.Tenants = append(info.Tenants, ts)
 	}
 	return info
@@ -441,6 +623,22 @@ type HealthInfo struct {
 	// waited in the admission queue — abandonment, distinct from the
 	// server shedding load (rejected_busy).
 	CanceledWaiting int64 `json:"canceled_waiting"`
+	// Caches is each tenant's cache counter block, name-sorted.
+	Caches []TenantCaches `json:"caches,omitempty"`
+}
+
+// TenantCaches is one tenant's service-side cache counters: the
+// content-addressed snapshot cache (parse reuse), the result cache
+// (whole-response reuse plus single-flight coalescing), and the
+// cross-request incremental splice accounting.
+type TenantCaches struct {
+	Name          string                    `json:"name"`
+	SnapshotCache ingest.SnapshotCacheStats `json:"snapshot_cache"`
+	ResultCache   ResultCacheStats          `json:"result_cache"`
+	// IncrementalRuns counts validations that spliced at least one
+	// cached verdict; SpecsReused totals the verdicts spliced.
+	IncrementalRuns int64 `json:"incremental_runs"`
+	SpecsReused     int64 `json:"specs_reused"`
 }
 
 // StatsInfo is the stats endpoint's body.
@@ -454,7 +652,18 @@ type StatsInfo struct {
 	Queued          int           `json:"queued"`
 	PlanCacheHits   uint64        `json:"plan_cache_hits"`
 	PlanCacheMisses uint64        `json:"plan_cache_misses"`
-	Tenants         []TenantStats `json:"tenants,omitempty"`
+
+	// Cross-tenant cache totals. Validations counts runs that actually
+	// executed; a result-cache hit or coalesced request never increments
+	// it, so hits+coalesced+validations accounts for every request
+	// admitted past the quota checks.
+	ResultCacheHits   int64 `json:"result_cache_hits"`
+	CoalescedRequests int64 `json:"coalesced_requests"`
+	SnapshotCacheHits int64 `json:"snapshot_cache_hits"`
+	IncrementalRuns   int64 `json:"incremental_runs"`
+	SpecsReused       int64 `json:"specs_reused"`
+
+	Tenants []TenantStats `json:"tenants,omitempty"`
 }
 
 // TenantStats is one tenant's counter block.
@@ -467,6 +676,9 @@ type TenantStats struct {
 	SourcesLoaded      int    `json:"sources_loaded"`
 	SourcesStale       int    `json:"sources_stale"`
 	SourcesQuarantined int    `json:"sources_quarantined"`
+	// Caches mirrors the health endpoint's per-tenant cache block so
+	// either endpoint tells the full reuse story.
+	Caches TenantCaches `json:"caches"`
 }
 
 // ValidateRequest is the wire body of a validate call: in-memory

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -12,12 +13,19 @@ import (
 
 // tenant is one isolated customer of the service: its own spec-program
 // registry and its own runner (hence its own session, store lineage,
-// degradation loader, and plan/incremental state). Nothing a tenant
-// registers or validates is visible to another tenant — isolation is
-// structural, not checked.
+// degradation loader, plan/incremental state, and snapshot cache), plus
+// its own result cache. Nothing a tenant registers or validates is
+// visible to another tenant — isolation is structural, not checked, and
+// that extends to every cache layer.
 type tenant struct {
-	name   string
-	runner *runner.Runner
+	name    string
+	runner  *runner.Runner
+	results *resultCache // nil when disabled
+
+	// Incremental accounting: requests that spliced at least one cached
+	// verdict, and the total verdicts spliced.
+	incrementalRuns atomic.Int64
+	specsReused     atomic.Int64
 
 	mu    sync.RWMutex
 	specs map[string]*specEntry
@@ -28,21 +36,39 @@ type specEntry struct {
 	name string
 	src  string
 	prog *confvalley.Program
+	// id is a process-unique registration nonce. Result-cache keys
+	// embed it, so re-registering a name strictly invalidates: entries
+	// and in-flight validations for the old program keep the old nonce
+	// and can never be served against the new one.
+	id uint64
+	// state is the spec's cross-request incremental lineage: the last
+	// completed run's (program, snapshot, report), diffed against each
+	// new request's snapshot to splice unchanged verdicts. Immutable
+	// values behind an atomic pointer; concurrent runs race benignly
+	// (last completed writer wins).
+	state atomic.Pointer[confvalley.RunState]
 	// lastResp retains the most recent validate response; readers get
 	// it lock-free from the report endpoint.
 	lastResp atomic.Pointer[ValidateResponse]
 }
 
-func newTenant(name string, opts runner.Options) *tenant {
+// specIDs issues registration nonces across all tenants.
+var specIDs atomic.Uint64
+
+func newTenant(name string, opts runner.Options, resultCacheSize int) *tenant {
 	return &tenant{
-		name:   name,
-		runner: runner.New(opts),
-		specs:  make(map[string]*specEntry),
+		name:    name,
+		runner:  runner.New(opts),
+		results: newResultCache(resultCacheSize),
+		specs:   make(map[string]*specEntry),
 	}
 }
 
 // register compiles and stores a spec under name, replacing any
-// previous program registered there.
+// previous program registered there. Replacement invalidates every
+// cache keyed to the old registration: the fresh entry carries a new
+// nonce and empty incremental state, and the old cached responses are
+// purged.
 func (t *tenant) register(name, src string, maxSpecs int) (SpecInfo, error) {
 	prog, err := t.runner.Session().Compile(src)
 	if err != nil {
@@ -53,8 +79,9 @@ func (t *tenant) register(name, src string, maxSpecs int) (SpecInfo, error) {
 	if _, exists := t.specs[name]; !exists && len(t.specs) >= maxSpecs {
 		return SpecInfo{}, fmt.Errorf("%w: tenant %q spec limit %d reached", ErrQuota, t.name, maxSpecs)
 	}
-	entry := &specEntry{name: name, src: src, prog: prog}
+	entry := &specEntry{name: name, src: src, prog: prog, id: specIDs.Add(1)}
 	t.specs[name] = entry
+	t.results.purge(name + keySep)
 	return entry.info(), nil
 }
 
@@ -81,7 +108,7 @@ func (t *tenant) list() []SpecInfo {
 	return out
 }
 
-// delete removes one registered spec.
+// delete removes one registered spec and its cached responses.
 func (t *tenant) delete(name string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -89,7 +116,18 @@ func (t *tenant) delete(name string) error {
 		return fmt.Errorf("%w: spec %q", ErrNotFound, name)
 	}
 	delete(t.specs, name)
+	t.results.purge(name + keySep)
 	return nil
+}
+
+// keySep separates result-cache key components; spec names cannot
+// contain it (nameRE).
+const keySep = "\x00"
+
+// cacheKey builds the result-cache key for one payload content address
+// under this registration.
+func (e *specEntry) cacheKey(payloadHash string) string {
+	return e.name + keySep + strconv.FormatUint(e.id, 10) + keySep + payloadHash
 }
 
 func (e *specEntry) info() SpecInfo {

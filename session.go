@@ -217,28 +217,11 @@ func (s *Session) ValidateProgramContext(ctx context.Context, prog *Program) (*R
 // interleave. ValidateProgramContext is RunProgram on the session's
 // current store.
 func (s *Session) RunProgram(ctx context.Context, prog *Program, st *Store) (*Report, *LoadReport, error) {
-	var specLoads *LoadReport
-	if s.Degrade {
-		specLoads = s.degradeLoads(ctx, prog, st)
-	} else {
-		for _, ld := range prog.Loads {
-			if err := ctx.Err(); err != nil {
-				return nil, nil, err
-			}
-			if err := s.execLoad(ctx, ld, st); err != nil {
-				return nil, nil, err
-			}
-		}
+	specLoads, err := s.execLoads(ctx, prog, st)
+	if err != nil {
+		return nil, nil, err
 	}
-	eng := &engine.Engine{
-		Store: st,
-		Env:   s.env,
-		Opts: engine.Options{
-			StopOnFirst: s.StopOnFirst,
-			Parallel:    s.Parallel,
-			Interpret:   s.Interpret,
-		},
-	}
+	eng := s.engineFor(st)
 	if !s.Incremental {
 		return eng.RunContext(ctx, prog), specLoads, nil
 	}
@@ -257,6 +240,85 @@ func (s *Session) RunProgram(ctx context.Context, prog *Program, st *Store) (*Re
 	}
 	s.last.Store(&lastRun{prog: prog, snap: eng.PinnedSnapshot(), rep: rep})
 	return rep, specLoads, nil
+}
+
+// RunState is one completed validation run's retained (program,
+// snapshot, report) triple, handed back by RunProgramIncremental for
+// the caller to thread into its next call. It is the externalized form
+// of the session-internal Incremental state: where the Incremental
+// option serves one watch loop per session, explicit RunStates let a
+// multi-tenant service keep independent incremental lineages per
+// registered spec without forking sessions. A RunState is immutable;
+// sharing one across concurrent runs is safe.
+type RunState struct {
+	run lastRun
+}
+
+// Report returns the state's retained validation report.
+func (rs *RunState) Report() *Report {
+	if rs == nil {
+		return nil
+	}
+	return rs.run.rep
+}
+
+// RunProgramIncremental is RunProgram with caller-held incremental
+// state instead of the session-retained kind. When prev was produced by
+// an earlier call with the *same* compiled program, validation goes
+// through engine.RunIncremental — only specifications whose footprint
+// overlaps the keys changed between prev's snapshot and this store's
+// are re-executed, the rest spliced from prev's report — and the result
+// is byte-identical to a full run (modulo Duration and SpecsReused). A
+// nil or mismatched prev runs the full path. The returned state
+// reflects this run, except after an interrupted run, whose incomplete
+// verdict set must not seed future splices: prev comes back unchanged.
+func (s *Session) RunProgramIncremental(ctx context.Context, prog *Program, st *Store, prev *RunState) (*Report, *LoadReport, *RunState, error) {
+	specLoads, err := s.execLoads(ctx, prog, st)
+	if err != nil {
+		return nil, nil, prev, err
+	}
+	eng := s.engineFor(st)
+	var rep *report.Report
+	if prev != nil && prev.run.prog == prog {
+		rep = eng.RunIncrementalContext(ctx, prog, prev.run.snap, prev.run.rep)
+	} else {
+		rep = eng.RunContext(ctx, prog)
+	}
+	if rep.Interrupted {
+		return rep, specLoads, prev, nil
+	}
+	return rep, specLoads, &RunState{run: lastRun{prog: prog, snap: eng.PinnedSnapshot(), rep: rep}}, nil
+}
+
+// execLoads runs the program's load commands into the store, strict or
+// degraded per the session options.
+func (s *Session) execLoads(ctx context.Context, prog *Program, st *Store) (*LoadReport, error) {
+	if s.Degrade {
+		return s.degradeLoads(ctx, prog, st), nil
+	}
+	for _, ld := range prog.Loads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.execLoad(ctx, ld, st); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// engineFor builds the engine one validation run uses, capturing the
+// session's execution options.
+func (s *Session) engineFor(st *Store) *engine.Engine {
+	return &engine.Engine{
+		Store: st,
+		Env:   s.env,
+		Opts: engine.Options{
+			StopOnFirst: s.StopOnFirst,
+			Parallel:    s.Parallel,
+			Interpret:   s.Interpret,
+		},
+	}
 }
 
 // degradeLoads executes the program's load commands through the
