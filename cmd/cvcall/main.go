@@ -6,12 +6,13 @@
 //
 // Usage:
 //
-//	cvcall [-server http://127.0.0.1:7077] [-tenant NAME] [-json]
+//	cvcall [-server http://127.0.0.1:7077] [-tenant NAME] [-json] [-strict]
 //	       [-timeout 30s] [-version] <command> [args]
 //
 // Commands:
 //
-//	register <spec> <file.cpl>                  upload a CPL program
+//	register <spec> <file.cpl>                  upload a CPL program (-strict refuses
+//	                                            error-severity lint findings)
 //	list                                        list registered specs
 //	delete <spec>                               remove a spec
 //	validate <spec> [format:path[:scope]]...    validate local files
@@ -34,6 +35,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		server  = fs.String("server", "http://127.0.0.1:7077", "cvserve base URL")
 		tenant  = fs.String("tenant", "default", "tenant name scoping every spec operation")
 		asJSON  = fs.Bool("json", false, "emit raw JSON responses instead of rendered text")
+		strict  = fs.Bool("strict", false, "with register: refuse the spec if lint finds error-severity diagnostics")
 		timeout = fs.Duration("timeout", 30*time.Second, "bound each request; 0 = no bound")
 		version = fs.Bool("version", false, "print the ConfValley version and exit")
 	)
@@ -106,9 +109,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		info, err := c.Register(ctx, rest[0], string(src))
+		info, err := c.RegisterWith(ctx, rest[0], string(src), serve.RegisterOptions{Strict: *strict})
 		if err != nil {
+			var lre *serve.LintRejectedError
+			if errors.As(err, &lre) {
+				for _, d := range lre.Diagnostics {
+					fmt.Fprintln(stderr, d)
+				}
+			}
 			return fail(err)
+		}
+		// Advisory lint findings render like cvlint's, on stderr.
+		for _, d := range info.Lint {
+			fmt.Fprintln(stderr, d)
 		}
 		if *asJSON {
 			return emit(info)

@@ -6,7 +6,14 @@
 //
 //	cvcheck -spec checks.cpl [-data xml:/path/settings.xml[:Scope]]...
 //	        [-parallel N] [-stop] [-json] [-watch 2s] [-interpret]
-//	        [-no-incremental] [-load-timeout 5s] [-max-stale N] [-version]
+//	        [-no-incremental] [-load-timeout 5s] [-max-stale N] [-lint]
+//	        [-version]
+//
+// -lint runs the static-analysis passes (internal/lint, the same ones
+// cvlint runs) over the specification before validating, using the
+// loaded configuration as the corpus-drift snapshot: findings below
+// error severity print to stderr as advisories; an error-severity
+// finding rejects the specification (exit 2) before validation.
 //
 // Data sources may also come from load commands inside the specification
 // file. With -watch, cvcheck revalidates whenever the specification or a
@@ -44,6 +51,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -84,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noInc       = fs.Bool("no-incremental", false, "with -watch, fully revalidate every round instead of re-running only the specs affected by changed keys")
 		loadTimeout = fs.Duration("load-timeout", 0, "bound each validation round (loading plus validation); 0 = no bound")
 		maxStale    = fs.Int("max-stale", 0, "serve a failing source from its last good parse for at most N watch rounds (0 = forever, negative = never)")
+		doLint      = fs.Bool("lint", false, "run the static-analysis passes over the specification before validating; error-severity findings reject the spec (exit 2)")
 		version     = fs.Bool("version", false, "print the ConfValley version and exit")
 		data        dataFlags
 	)
@@ -134,13 +143,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		LoadTimeout: *loadTimeout,
 		SpecDir:     filepath.Dir(*specPath),
 		Env:         confvalley.HostEnv(),
+		Lint:        *doLint,
 	})
 
 	validateOnce := func(ctx context.Context) int {
 		res, err := r.Run(ctx, runner.Job{SpecPath: *specPath, Sources: dataSources})
 		if err != nil {
+			var le *runner.LintError
+			if errors.As(err, &le) {
+				for _, d := range le.Diagnostics {
+					fmt.Fprintln(stderr, d)
+				}
+			}
 			fmt.Fprintf(stderr, "cvcheck: %v\n", err)
 			return 2
+		}
+		// Lint findings below error severity are advisory: printed to
+		// stderr, no effect on the exit code.
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(stderr, d)
 		}
 		if res.Data != nil {
 			for _, o := range res.Data.Outcomes {

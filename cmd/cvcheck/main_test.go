@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestSplitDataArg(t *testing.T) {
 	cases := []struct {
@@ -29,5 +35,60 @@ func TestSplitDataArg(t *testing.T) {
 			t.Errorf("splitDataArg(%q) = %q,%q,%q; want %q,%q,%q",
 				c.in, format, path, scope, c.format, c.path, c.scope)
 		}
+	}
+}
+
+func writeTestFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// -lint rejects a spec with error-severity findings (exit 2) and prints
+// the diagnostics before the failure line.
+func TestLintFlagRejectsContradiction(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeTestFile(t, dir, "bad.cpl", "$app.timeout -> [10, 5]\n")
+	data := writeTestFile(t, dir, "conf.kv", "app.timeout = 30\n")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-lint", "-spec", spec, "-data", "kv:" + data}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "CV101") || !strings.Contains(errOut.String(), "failed lint") {
+		t.Errorf("stderr missing diagnostics:\n%s", errOut.String())
+	}
+}
+
+// Advisory (sub-error) findings print to stderr but validation proceeds.
+func TestLintFlagAdvisory(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeTestFile(t, dir, "warn.cpl", "let Unused := int\n$app.timeout -> int\n")
+	data := writeTestFile(t, dir, "conf.kv", "app.timeout = 30\n")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-lint", "-spec", spec, "-data", "kv:" + data}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "CV401") {
+		t.Errorf("advisory diagnostic not printed:\n%s", errOut.String())
+	}
+}
+
+// Without -lint, the same spec validates with no lint output at all.
+func TestNoLintByDefault(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeTestFile(t, dir, "warn.cpl", "let Unused := int\n$app.timeout -> int\n")
+	data := writeTestFile(t, dir, "conf.kv", "app.timeout = 30\n")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-spec", spec, "-data", "kv:" + data}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr:\n%s", code, errOut.String())
+	}
+	if strings.Contains(errOut.String(), "CV401") {
+		t.Errorf("lint ran without -lint:\n%s", errOut.String())
 	}
 }

@@ -41,7 +41,7 @@ import (
 // Version identifies this ConfValley build. Every command accepts a
 // -version flag that prints it, and the cvserve health endpoint reports
 // it so clients can tell what they are talking to.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // ReportSchemaVersion is the version stamped on wire-encoded reports
 // (Report.EncodeWire); see internal/report.SchemaVersion.

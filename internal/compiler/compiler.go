@@ -10,11 +10,15 @@ package compiler
 
 import (
 	"fmt"
+	"math"
+	"regexp"
+	"strconv"
 	"strings"
 
 	"confvalley/internal/config"
 	"confvalley/internal/cpl/ast"
 	"confvalley/internal/cpl/parser"
+	"confvalley/internal/cpl/token"
 	"confvalley/internal/predicate"
 	"confvalley/internal/report"
 	"confvalley/internal/transform"
@@ -93,17 +97,28 @@ type Options struct {
 	Resolver func(path string) (string, error)
 }
 
-// Error is a compile error with the offending construct.
+// Error is a compile error with the offending construct. Pos locates
+// the construct in its source file; it is the zero value only for
+// errors with no single source anchor. Where names the construct
+// ("include 'x'", "policy severity") when a name reads better than a
+// bare position.
 type Error struct {
+	Pos   token.Pos
 	Where string
 	Msg   string
 }
 
 func (e *Error) Error() string {
-	if e.Where == "" {
+	switch {
+	case e.Pos.Line > 0 && e.Where != "":
+		return fmt.Sprintf("cpl:%s: %s: %s", e.Pos, e.Where, e.Msg)
+	case e.Pos.Line > 0:
+		return fmt.Sprintf("cpl:%s: %s", e.Pos, e.Msg)
+	case e.Where != "":
+		return fmt.Sprintf("cpl: %s: %s", e.Where, e.Msg)
+	default:
 		return "cpl: " + e.Msg
 	}
-	return fmt.Sprintf("cpl: %s: %s", e.Where, e.Msg)
 }
 
 // Compile parses and compiles CPL source with optimizations enabled.
@@ -170,15 +185,15 @@ func (c *compilerCtx) stmt(st ast.Stmt, sc *scope) error {
 		return nil
 	case *ast.IncludeStmt:
 		if c.opts.Resolver == nil {
-			return &Error{Where: "include '" + t.Path + "'", Msg: "no include resolver configured"}
+			return &Error{Pos: t.Pos(), Where: "include '" + t.Path + "'", Msg: "no include resolver configured"}
 		}
 		if c.seen[t.Path] {
-			return &Error{Where: "include '" + t.Path + "'", Msg: "include cycle detected"}
+			return &Error{Pos: t.Pos(), Where: "include '" + t.Path + "'", Msg: "include cycle detected"}
 		}
 		c.seen[t.Path] = true
 		src, err := c.opts.Resolver(t.Path)
 		if err != nil {
-			return &Error{Where: "include '" + t.Path + "'", Msg: err.Error()}
+			return &Error{Pos: t.Pos(), Where: "include '" + t.Path + "'", Msg: err.Error()}
 		}
 		sub, err := parser.Parse(src)
 		if err != nil {
@@ -188,7 +203,7 @@ func (c *compilerCtx) stmt(st ast.Stmt, sc *scope) error {
 		return c.stmts(sub, *sc)
 	case *ast.LetStmt:
 		if _, dup := c.prog.Macros[t.Name]; dup {
-			return &Error{Where: "let " + t.Name, Msg: "macro redefined"}
+			return &Error{Pos: t.Pos(), Where: "let " + t.Name, Msg: "macro redefined"}
 		}
 		if err := c.checkPred(t.Pred); err != nil {
 			return err
@@ -200,18 +215,18 @@ func (c *compilerCtx) stmt(st ast.Stmt, sc *scope) error {
 		case "severity":
 			sev, err := report.ParseSeverity(t.Value)
 			if err != nil {
-				return &Error{Where: "policy severity", Msg: err.Error()}
+				return &Error{Pos: t.Pos(), Where: "policy severity", Msg: err.Error()}
 			}
 			sc.severity = sev
 		case "on_violation":
 			if t.Value != "stop" && t.Value != "continue" {
-				return &Error{Where: "policy on_violation", Msg: "value must be 'stop' or 'continue'"}
+				return &Error{Pos: t.Pos(), Where: "policy on_violation", Msg: "value must be 'stop' or 'continue'"}
 			}
 			c.prog.Policies[t.Name] = t.Value
 		case "priority":
 			c.prog.Policies[t.Name] = t.Value
 		default:
-			return &Error{Where: "policy " + t.Name, Msg: "unknown policy"}
+			return &Error{Pos: t.Pos(), Where: "policy " + t.Name, Msg: "unknown policy"}
 		}
 		return nil
 	case *ast.GetStmt:
@@ -302,6 +317,12 @@ func bodyUsesVar(stmts []ast.Stmt, name string) bool {
 	}
 	return false
 }
+
+// WalkDomains visits every domain under a statement — spec domains,
+// condition domains, and domains embedded in predicate expressions —
+// in source order. The lint analyzers use it to enumerate every
+// configuration reference a statement can read.
+func WalkDomains(n ast.Node, fn func(ast.Domain)) { walkDomains(n, fn) }
 
 // walkDomains visits every domain under a statement.
 func walkDomains(n ast.Node, fn func(ast.Domain)) {
@@ -417,26 +438,48 @@ func (c *compilerCtx) checkPred(p ast.Pred) error {
 		case "nonempty", "unique", "consistent", "ordered", "exists", "reachable":
 			return nil
 		}
-		return &Error{Where: fmt.Sprintf("%s", t.Pos()), Msg: fmt.Sprintf("unknown predicate %q", t.Name)}
+		return &Error{Pos: t.Pos(), Msg: fmt.Sprintf("unknown predicate %q", t.Name)}
+	case *ast.Match:
+		// Regular-expression patterns are rejected at compile time on
+		// both execution paths: the plan path pre-compiles the regex
+		// during lowering anyway, and the interpreter oracle must not
+		// diverge by failing only when an element is finally matched.
+		if err := CheckMatchPattern(t.Pattern); err != nil {
+			return &Error{Pos: t.Pos(), Msg: err.Error()}
+		}
+		return nil
 	case *ast.Call:
 		if t.Name == "__domain_lhs" {
-			return &Error{Where: fmt.Sprintf("%s", t.Pos()), Msg: "domain-to-domain relations are only supported at statement level ($A <= $B)"}
+			return &Error{Pos: t.Pos(), Msg: "domain-to-domain relations are only supported at statement level ($A <= $B)"}
 		}
 		f, ok := predicate.Lookup(t.Name)
 		if !ok {
-			return &Error{Where: fmt.Sprintf("%s", t.Pos()), Msg: fmt.Sprintf("unknown predicate %q (registered: %s)", t.Name, strings.Join(predicate.Names(), ", "))}
+			return &Error{Pos: t.Pos(), Msg: fmt.Sprintf("unknown predicate %q (registered: %s)", t.Name, strings.Join(predicate.Names(), ", "))}
 		}
 		if f.Arity >= 0 && len(t.Args) != f.Arity {
-			return &Error{Where: fmt.Sprintf("%s", t.Pos()), Msg: fmt.Sprintf("predicate %s expects %d argument(s), got %d", t.Name, f.Arity, len(t.Args))}
+			return &Error{Pos: t.Pos(), Msg: fmt.Sprintf("predicate %s expects %d argument(s), got %d", t.Name, f.Arity, len(t.Args))}
 		}
 		return nil
 	case *ast.MacroRef:
 		if _, ok := c.prog.Macros[t.Name]; !ok {
-			return &Error{Where: fmt.Sprintf("%s", t.Pos()), Msg: fmt.Sprintf("undefined macro @%s", t.Name)}
+			return &Error{Pos: t.Pos(), Msg: fmt.Sprintf("undefined macro @%s", t.Name)}
 		}
 		return nil
 	}
-	return nil // TypePred, Match, Range, Enum, Rel are self-contained
+	return nil // TypePred, Range, Enum, Rel are self-contained
+}
+
+// CheckMatchPattern validates a match() pattern statically: a pattern in
+// the /re/ regular-expression form must compile. Glob and substring
+// patterns cannot fail. Shared by the compiler and the lint
+// type-mismatch analyzer so both report the identical message.
+func CheckMatchPattern(pattern string) error {
+	if len(pattern) >= 2 && strings.HasPrefix(pattern, "/") && strings.HasSuffix(pattern, "/") {
+		if _, err := regexp.Compile(pattern[1 : len(pattern)-1]); err != nil {
+			return fmt.Errorf("match: bad regular expression %q: %v", pattern, err)
+		}
+	}
+	return nil
 }
 
 // ---- Optimizer (§5.2, Figure 4) ----
@@ -559,6 +602,12 @@ func omitImplied(prog *Program, specs []*Spec) []*Spec {
 	return specs
 }
 
+// FlattenAnd splits a conjunction into its conjuncts (a non-conjunction
+// is its own single conjunct). Exposed read-only for the lint
+// analyzers, which reason over the same conjunction shape the optimizer
+// rewrites.
+func FlattenAnd(p ast.Pred) []ast.Pred { return flattenAnd(p) }
+
 func flattenAnd(p ast.Pred) []ast.Pred {
 	if a, ok := p.(*ast.And); ok {
 		return append(flattenAnd(a.L), flattenAnd(a.R)...)
@@ -573,6 +622,12 @@ func joinAnd(ps []ast.Pred) ast.Pred {
 	}
 	return out
 }
+
+// Implies reports whether predicate q subsumes predicate p (q ⇒ p) for
+// the statically decidable cases — the implication relation behind the
+// Figure 4(c) omit-implied rewrite, exposed read-only so the dead-spec
+// lint analyzer flags what the optimizer would silently drop.
+func Implies(q, p ast.Pred) bool { return implies(q, p) }
 
 // implies reports whether predicate q subsumes predicate p (q ⇒ p) for the
 // statically decidable cases.
@@ -613,8 +668,113 @@ func implies(q, p ast.Pred) bool {
 			}
 			return true
 		}
+	case *ast.Range, *ast.Rel:
+		// Numeric containment: q admits a narrower interval than p.
+		// Whenever q holds the value is numeric and inside q's interval,
+		// hence inside p's — p holds too.
+		plo, phi, pok := numInterval(p)
+		if !pok {
+			// Non-interval relations: only an equality over the same
+			// literal follows (== 'a' implies == 'a' is identity, handled
+			// by the caller's dedup; != is never implied here).
+			return false
+		}
+		if qlo, qhi, ok := numInterval(q); ok {
+			return qlo >= plo && qhi <= phi && !(qlo == plo && qhi == phi)
+		}
+		if qq, ok := q.(*ast.Enum); ok {
+			vals, ok := enumLiterals(qq)
+			if !ok || len(vals) == 0 {
+				return false
+			}
+			for _, v := range vals {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < plo || f > phi {
+					return false
+				}
+			}
+			return true
+		}
+	case *ast.Enum:
+		// Membership containment: every value q admits is a member of p.
+		pvals, ok := enumLiterals(pp)
+		if !ok {
+			return false
+		}
+		member := func(v string) bool {
+			for _, m := range pvals {
+				if v == m {
+					return true
+				}
+			}
+			return false
+		}
+		switch qq := q.(type) {
+		case *ast.Enum:
+			qvals, ok := enumLiterals(qq)
+			if !ok || len(qvals) == 0 || len(qvals) >= len(pvals) {
+				return false
+			}
+			for _, v := range qvals {
+				if !member(v) {
+					return false
+				}
+			}
+			return true
+		case *ast.Rel:
+			if qq.Op != token.EQ {
+				return false
+			}
+			if l, ok := qq.Rhs.(*ast.Lit); ok {
+				return member(l.Text)
+			}
+		}
 	}
 	return false
+}
+
+// numInterval derives the closed numeric interval a literal-only
+// constraint admits: a Range with numeric bounds, an ordered relation,
+// or an equality against a number. The open relational bounds (<, >)
+// are tightened to the adjacent representable float, which is exact for
+// the integer literals CPL specs use in practice.
+func numInterval(p ast.Pred) (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	num := func(e ast.Expr) (float64, bool) {
+		l, isLit := e.(*ast.Lit)
+		if !isLit || (l.Kind != token.INT && l.Kind != token.FLOAT) {
+			return 0, false
+		}
+		v, err := strconv.ParseFloat(l.Text, 64)
+		return v, err == nil
+	}
+	switch t := p.(type) {
+	case *ast.Range:
+		l, okLo := num(t.Lo)
+		h, okHi := num(t.Hi)
+		if !okLo || !okHi || l > h {
+			return 0, 0, false
+		}
+		return l, h, true
+	case *ast.Rel:
+		v, isNum := num(t.Rhs)
+		if !isNum {
+			return 0, 0, false
+		}
+		switch t.Op {
+		case token.GE:
+			return v, hi, true
+		case token.GT:
+			return math.Nextafter(v, math.Inf(1)), hi, true
+		case token.LE:
+			return lo, v, true
+		case token.LT:
+			return lo, math.Nextafter(v, math.Inf(-1)), true
+		case token.EQ:
+			return v, v, true
+		}
+	}
+	return 0, 0, false
 }
 
 func enumLiterals(e *ast.Enum) ([]string, bool) {

@@ -1,6 +1,8 @@
 package compiler
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -146,6 +148,66 @@ func TestImpliesNegativeCases(t *testing.T) {
 		}
 		if prog.Stats.ConstraintsOmitted != 0 {
 			t.Errorf("%q implied %q and was dropped; it should not be", c.q, c.p)
+		}
+	}
+}
+
+// Regression for the compile-time regex check: an invalid /re/ match
+// pattern is rejected during compilation with a source position, so
+// neither execution path — the lowered plan (which pre-compiles the
+// regex) nor the AST-interpreter oracle (which used to fail only when
+// an element was finally matched) — ever sees it at run time.
+func TestBadRegexRejected(t *testing.T) {
+	_, err := Compile("$keystone.auth_host -> match('/[/')")
+	if err == nil {
+		t.Fatal("bad regex compiled")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T, want *compiler.Error", err)
+	}
+	if !strings.Contains(ce.Msg, "bad regular expression") {
+		t.Errorf("Msg = %q", ce.Msg)
+	}
+	if ce.Pos.Line != 1 || ce.Pos.Col != 24 {
+		t.Errorf("Pos = %s, want 1:24", ce.Pos)
+	}
+	// Glob and substring patterns have no failure mode.
+	if _, err := Compile("$X -> match('a[b')"); err != nil {
+		t.Errorf("substring pattern rejected: %v", err)
+	}
+	if _, err := Compile("$X -> match('a[*')"); err != nil {
+		t.Errorf("glob pattern rejected: %v", err)
+	}
+}
+
+// Every compile error carries the position of its offending construct,
+// rendered as line:col so front ends can prefix the file name.
+func TestErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+	}{
+		{"$X -> int\n$Y -> nosuch", 2},
+		{"$X -> @Missing", 1},
+		{"$X -> int\n\npolicy frobnicate 'x'", 3},
+		{"let A := int\nlet A := bool", 2},
+		{"$X -> int\ninclude 'nope.cpl'", 2},
+		{"policy on_violation 'maybe'", 1},
+		{"$X -> match('/(/')", 1},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		var ce *Error
+		if !errors.As(err, &ce) {
+			t.Errorf("Compile(%q) err = %v, want *compiler.Error", c.src, err)
+			continue
+		}
+		if ce.Pos.Line != c.line || ce.Pos.Col == 0 {
+			t.Errorf("Compile(%q) pos = %s, want line %d", c.src, ce.Pos, c.line)
+		}
+		if !strings.Contains(ce.Error(), fmt.Sprintf("cpl:%d:", c.line)) {
+			t.Errorf("Compile(%q) message %q lacks line:col prefix", c.src, ce.Error())
 		}
 	}
 }

@@ -339,6 +339,87 @@ type DomainExpr struct {
 	D Domain
 }
 
+// ---- Traversal ----
+
+// Inspect traverses the tree rooted at n in depth-first source order,
+// calling f on every node. If f returns false for a node, its children
+// are skipped. Statement bodies, predicate operands, pipeline steps,
+// transform arguments and expression-embedded domains are all visited,
+// so a single Inspect sees every position-carrying construct in a
+// statement — the traversal the lint analyzers are built on.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch t := n.(type) {
+	case *LetStmt:
+		Inspect(t.Pred, f)
+	case *GetStmt:
+		Inspect(t.Domain, f)
+	case *SpecStmt:
+		Inspect(t.Domain, f)
+		Inspect(t.Pred, f)
+	case *IfStmt:
+		Inspect(t.Cond, f)
+		for _, s := range t.Then {
+			Inspect(s, f)
+		}
+		for _, s := range t.Else {
+			Inspect(s, f)
+		}
+	case *BlockStmt:
+		for _, s := range t.Body {
+			Inspect(s, f)
+		}
+	case *Pipe:
+		Inspect(t.Src, f)
+		for _, s := range t.Steps {
+			if s.Guard != nil {
+				Inspect(s.Guard, f)
+			}
+			for _, a := range s.T.Args {
+				Inspect(a, f)
+			}
+		}
+	case *BinaryDomain:
+		Inspect(t.L, f)
+		Inspect(t.R, f)
+	case *CompartmentDomain:
+		Inspect(t.Inner, f)
+	case *And:
+		Inspect(t.L, f)
+		Inspect(t.R, f)
+	case *Or:
+		Inspect(t.L, f)
+		Inspect(t.R, f)
+	case *Not:
+		Inspect(t.X, f)
+	case *QuantPred:
+		Inspect(t.X, f)
+	case *IfPred:
+		Inspect(t.Cond, f)
+		Inspect(t.Then, f)
+		if t.Else != nil {
+			Inspect(t.Else, f)
+		}
+	case *Range:
+		Inspect(t.Lo, f)
+		Inspect(t.Hi, f)
+	case *Enum:
+		for _, e := range t.Elems {
+			Inspect(e, f)
+		}
+	case *Rel:
+		Inspect(t.Rhs, f)
+	case *Call:
+		for _, a := range t.Args {
+			Inspect(a, f)
+		}
+	case *DomainExpr:
+		Inspect(t.D, f)
+	}
+}
+
 // ---- Rendering ----
 
 // Render reconstructs approximate CPL source for a statement; used in

@@ -159,7 +159,9 @@ func (p *parser) statement() (ast.Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.IncludeStmt{Path: path.Text}, p.endStatement(pos)
+		st := &ast.IncludeStmt{Path: path.Text}
+		st.P = pos
+		return st, p.endStatement(pos)
 	case token.LET:
 		return p.letStmt()
 	case token.POLICY:
@@ -172,14 +174,18 @@ func (p *parser) statement() (ast.Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.PolicyStmt{Name: name.Text, Value: val.Text}, p.endStatement(pos)
+		st := &ast.PolicyStmt{Name: name.Text, Value: val.Text}
+		st.P = pos
+		return st, p.endStatement(pos)
 	case token.GET:
 		pos := p.next().Pos
 		d, err := p.domain()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.GetStmt{Domain: d}, p.endStatement(pos)
+		st := &ast.GetStmt{Domain: d}
+		st.P = pos
+		return st, p.endStatement(pos)
 	case token.NAMESPACE, token.COMPARTMENT:
 		return p.blockStmt()
 	case token.IF:
@@ -210,6 +216,7 @@ func (p *parser) loadStmt() (ast.Stmt, error) {
 		return nil, err
 	}
 	st := &ast.LoadStmt{Driver: drv.Text, Source: src.Text}
+	st.P = pos
 	if p.at(token.AS) {
 		p.next()
 		pat, err := p.qid()
@@ -234,7 +241,9 @@ func (p *parser) letStmt() (ast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ast.LetStmt{Name: name.Text, Pred: pred}, p.endStatement(pos)
+	st := &ast.LetStmt{Name: name.Text, Pred: pred}
+	st.P = pos
+	return st, p.endStatement(pos)
 }
 
 func (p *parser) blockStmt() (ast.Stmt, error) {
@@ -252,6 +261,7 @@ func (p *parser) blockStmt() (ast.Stmt, error) {
 		return nil, err
 	}
 	st := &ast.BlockStmt{Kind: kind, Scope: scope, Body: body}
+	st.P = kw.Pos
 	return st, nil
 }
 
@@ -286,6 +296,7 @@ func (p *parser) blockBody() ([]ast.Stmt, error) {
 }
 
 func (p *parser) ifStmt() (ast.Stmt, error) {
+	ifPos := p.cur().Pos
 	p.next() // if
 	if _, err := p.expect(token.LPAREN); err != nil {
 		return nil, err
@@ -302,6 +313,7 @@ func (p *parser) ifStmt() (ast.Stmt, error) {
 		return nil, err
 	}
 	st := &ast.IfStmt{Cond: cond, Then: thenBody}
+	st.P = ifPos
 	if p.at(token.ELSE) || (p.at(token.NEWLINE) && p.peekPastNewlines() == token.ELSE) {
 		p.skipNewlines()
 		p.next() // else
@@ -335,6 +347,7 @@ func (p *parser) specStmt() (ast.Stmt, error) {
 
 // specCore parses [quantifier] domain (-> predicate | relop expr).
 func (p *parser) specCore() (*ast.SpecStmt, error) {
+	startPos := p.cur().Pos
 	quant := ast.QuantAll
 	if p.cur().Kind.IsQuantifier() {
 		switch p.next().Kind {
@@ -349,6 +362,7 @@ func (p *parser) specCore() (*ast.SpecStmt, error) {
 		return nil, err
 	}
 	st := &ast.SpecStmt{Quant: quant, Domain: d, Pred: pred}
+	st.P = startPos
 	// Optional custom error message (§4.4): ... message 'text', possibly
 	// on a continuation line.
 	if msgTok := p.peekPastNewlinesTok(); msgTok.Kind == token.IDENT && msgTok.Text == "message" {
@@ -780,7 +794,9 @@ func (p *parser) orPred() (ast.Pred, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &ast.Or{L: l, R: r}
+		or := &ast.Or{L: l, R: r}
+		setPredPos(or, l.Pos())
+		l = or
 	}
 	return l, nil
 }
@@ -795,19 +811,24 @@ func (p *parser) andPred() (ast.Pred, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &ast.And{L: l, R: r}
+		and := &ast.And{L: l, R: r}
+		setPredPos(and, l.Pos())
+		l = and
 	}
 	return l, nil
 }
 
 func (p *parser) notPred() (ast.Pred, error) {
 	if p.at(token.TILDE) {
+		pos := p.cur().Pos
 		p.next()
 		x, err := p.notPred()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Not{X: x}, nil
+		n := &ast.Not{X: x}
+		setPredPos(n, pos)
+		return n, nil
 	}
 	return p.primaryPred()
 }

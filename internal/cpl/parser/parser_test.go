@@ -451,3 +451,42 @@ if (exists $RoutingEntry.Gateway == 'LoadBalancerGateway')
 		t.Fatalf("statements = %d, want 6", len(stmts))
 	}
 }
+
+// Every statement node carries the position of its first token, so
+// compile and lint diagnostics can render file:line:col uniformly.
+func TestStatementPositions(t *testing.T) {
+	src := `load 'ini' '/etc/app.ini'
+include 'common.cpl'
+let M := nonempty
+policy on_violation 'continue'
+$Fabric.X -> int
+if (exists $F -> int) { $Y -> bool }
+namespace Fabric {
+  $Z -> int
+}
+get $Fabric.X
+`
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := []int{1, 2, 3, 4, 5, 6, 7, 10}
+	if len(stmts) != len(wantLines) {
+		t.Fatalf("statements = %d, want %d", len(stmts), len(wantLines))
+	}
+	for i, st := range stmts {
+		pos := st.Pos()
+		if pos.Line != wantLines[i] || pos.Col != 1 {
+			t.Errorf("stmt %d (%T) pos = %s, want %d:1", i, st, pos, wantLines[i])
+		}
+	}
+	// Nested statements are positioned too.
+	ifst := stmts[5].(*ast.IfStmt)
+	if p := ifst.Then[0].Pos(); p.Line != 6 || p.Col != 25 {
+		t.Errorf("if-body spec pos = %s, want 6:25", p)
+	}
+	block := stmts[6].(*ast.BlockStmt)
+	if p := block.Body[0].Pos(); p.Line != 8 || p.Col != 3 {
+		t.Errorf("block-body spec pos = %s, want 8:3", p)
+	}
+}

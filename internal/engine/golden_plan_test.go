@@ -70,7 +70,6 @@ func goldenWorkloads(t *testing.T) []goldenWorkload {
 	// produce the same spec errors, in the same order, on both paths.
 	add("spec-errors", osStore, `
 $keystone.auth_port -> port
-$keystone.auth_host -> match('/[/')
 $nova.rabbit_host -> nonempty
 $missing.$v.thing -> nonempty
 $keystone.auth_protocol -> {'http', 'https'}

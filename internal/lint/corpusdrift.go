@@ -1,0 +1,51 @@
+package lint
+
+// The corpus-drift analyzer checks a specification file against a
+// configuration snapshot: a reference whose every resolution candidate
+// discovers zero instances validates vacuously — usually a sign the
+// spec has drifted from the corpus (a renamed class, a retired
+// component) rather than a deliberate guard. It only runs when the
+// caller supplies a snapshot (cvlint -data, or a registered tenant's
+// store in the service).
+//
+// Codes:
+//
+//	CV601 reference discovers no instance in the snapshot
+
+import (
+	"confvalley/internal/plan"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:  "corpusdrift",
+		Doc:   "references that match nothing in the supplied snapshot",
+		Codes: []string{"CV601"},
+		Run:   runCorpusDrift,
+	})
+}
+
+func runCorpusDrift(p *Pass) {
+	if p.Prog == nil || p.Snapshot == nil || p.Snapshot.Len() == 0 {
+		return
+	}
+	for _, spec := range p.Prog.Specs {
+		for _, site := range plan.RefSites(p.Prog, spec) {
+			if site.HasVars {
+				continue // data-dependent; can't be judged statically
+			}
+			found := false
+			for _, cand := range site.Candidates {
+				if len(p.Snapshot.Discover(cand)) > 0 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				p.Reportf(site.Pos, "CV601", Warning,
+					"reference $%s matches no instance in the snapshot (%d candidates tried); the spec validates vacuously",
+					site.Pattern, len(site.Candidates))
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package lint
+
+// The dynamic-footprint analyzer surfaces the performance cliff of
+// incremental validation: a spec whose read set cannot be bounded
+// statically re-runs on EVERY incremental round, no matter how small
+// the change. The footprint extractor already knows why it gave up;
+// this analyzer turns that reason into a positioned diagnostic.
+//
+// Codes:
+//
+//	CV501 spec has a dynamic footprint and re-runs every round
+
+import (
+	"confvalley/internal/plan"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:  "dynfootprint",
+		Doc:   "specs that defeat incremental validation (dynamic read set)",
+		Codes: []string{"CV501"},
+		Run:   runDynFootprint,
+	})
+}
+
+func runDynFootprint(p *Pass) {
+	if p.Prog == nil {
+		return
+	}
+	for _, spec := range p.Prog.Specs {
+		fp := plan.ExtractFootprint(p.Prog, spec)
+		if !fp.Dynamic {
+			continue
+		}
+		p.Reportf(specAnchor(spec), "CV501", Info,
+			"spec re-runs on every incremental round: %s", fp.Reason)
+	}
+}

@@ -1,0 +1,422 @@
+// Package lint is a static-analysis framework over CPL specification
+// programs, modeled on golang.org/x/tools/go/analysis scaled down to
+// one language: a registry of named analyzers, each walking the parsed
+// statements and the unoptimized compiled program of one file and
+// emitting position-carrying diagnostics.
+//
+// Analyzers see the program **before** the Figure 4 optimizer rewrites
+// run, so duplicate and subsumed specifications are still visible; the
+// subsumption analyzer reuses the optimizer's implication engine
+// (compiler.Implies) read-only. A diagnostic carries a stable code
+// (CVnnn), a severity, and an optional suggested fix. Suppress a
+// diagnostic by appending a "// cvlint:disable" comment to its line
+// (optionally listing codes: "// cvlint:disable CV301,CV501").
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"confvalley/internal/compiler"
+	"confvalley/internal/config"
+	"confvalley/internal/cpl/ast"
+	"confvalley/internal/cpl/lexer"
+	"confvalley/internal/cpl/parser"
+	"confvalley/internal/cpl/token"
+)
+
+// SchemaVersion stamps the JSON wire format of Diagnostic. Bump it on
+// any incompatible change to the serialized shape.
+const SchemaVersion = 1
+
+// Severity ranks a diagnostic. Error means the specification cannot
+// mean what it says (a contradiction, a type clash, a bad regex);
+// Warning means it is suspicious or wasteful; Info is advisory.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts the lowercase severity names.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = Error
+	case "warning":
+		*s = Warning
+	case "info":
+		*s = Info
+	default:
+		return fmt.Errorf("lint: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	File       string    `json:"file"`
+	Line       int       `json:"line"`
+	Col        int       `json:"col"`
+	Code       string    `json:"code"`
+	Analyzer   string    `json:"analyzer"`
+	Severity   Severity  `json:"severity"`
+	Message    string    `json:"message"`
+	Suggestion string    `json:"suggestion,omitempty"`
+	Pos        token.Pos `json:"-"`
+}
+
+// String renders the diagnostic in the canonical file:line:col form
+// shared with compiler errors.
+func (d Diagnostic) String() string {
+	// Pos is authoritative locally but never crosses the wire
+	// (json:"-"); a decoded diagnostic falls back to the serialized
+	// Line/Col so service clients render positions too.
+	loc := d.File
+	switch {
+	case d.Pos.Line > 0:
+		loc = fmt.Sprintf("%s:%s", d.File, d.Pos)
+	case d.Line > 0:
+		loc = fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+	}
+	s := fmt.Sprintf("%s: %s: %s [%s]", loc, d.Severity, d.Message, d.Code)
+	if d.Suggestion != "" {
+		s += "\n\t" + d.Suggestion
+	}
+	return s
+}
+
+// Pass carries everything one analyzer run may consult for one file.
+type Pass struct {
+	// File is the display name used in diagnostics.
+	File string
+	// Src is the raw CPL source.
+	Src string
+	// Stmts is the parse tree; always set when analyzers run.
+	Stmts []ast.Stmt
+	// Prog is the program compiled WITHOUT optimizer rewrites, so
+	// duplicates and subsumed specs are still distinct. Nil when the
+	// file does not compile; analyzers must tolerate that.
+	Prog *compiler.Program
+	// Snapshot is an optional configuration snapshot for data-aware
+	// analyses (corpus drift). Nil when the caller supplied none.
+	Snapshot *config.Store
+
+	report func(Diagnostic)
+}
+
+// Report emits a diagnostic from the running analyzer; the framework
+// fills File and Line/Col from pos.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf is the common emission path: position, code, severity and a
+// formatted message.
+func (p *Pass) Reportf(pos token.Pos, code string, sev Severity, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Code: code, Severity: sev, Message: fmt.Sprintf(format, args...)})
+}
+
+// Suggest emits a diagnostic with a suggested fix.
+func (p *Pass) Suggest(pos token.Pos, code string, sev Severity, suggestion, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos: pos, Code: code, Severity: sev,
+		Message:    fmt.Sprintf(format, args...),
+		Suggestion: suggestion,
+	})
+}
+
+// Analyzer is one named analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -analyzers flags.
+	Name string
+	// Doc is a one-line description shown by cvlint -analyzers.
+	Doc string
+	// Codes lists the diagnostic codes the analyzer can emit.
+	Codes []string
+	// Run inspects the pass and reports diagnostics.
+	Run func(*Pass)
+}
+
+var registry = map[string]*Analyzer{}
+
+// Register adds an analyzer to the global registry; it panics on a
+// duplicate name, mirroring go/analysis driver behavior.
+func Register(a *Analyzer) {
+	if _, dup := registry[a.Name]; dup {
+		panic("lint: duplicate analyzer " + a.Name)
+	}
+	registry[a.Name] = a
+}
+
+// Analyzers returns all registered analyzers sorted by name.
+func Analyzers() []*Analyzer {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Analyzer, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// Options configure one Run.
+type Options struct {
+	// Snapshot enables data-aware analyses when non-nil.
+	Snapshot *config.Store
+	// Analyzers restricts the run to the named analyzers; empty means
+	// all registered.
+	Analyzers []string
+	// Disable removes the named analyzers from the run.
+	Disable []string
+	// Resolver loads included files for compilation; nil disables
+	// includes (they then surface as compile diagnostics).
+	Resolver func(path string) (string, error)
+}
+
+// Result is the outcome of linting one file.
+type Result struct {
+	File        string       `json:"file"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Errors reports how many diagnostics are error-severity.
+func (r Result) Errors() int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			n++
+		}
+	}
+	return n
+}
+
+// Counts returns (errors, warnings, infos).
+func (r Result) Counts() (errs, warns, infos int) {
+	for _, d := range r.Diagnostics {
+		switch d.Severity {
+		case Error:
+			errs++
+		case Warning:
+			warns++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// Run lints one CPL file. A parse failure yields a single CV001
+// diagnostic; a compile failure yields CV002 (unless an analyzer
+// already reported an error at the same position with more context,
+// e.g. an undefined macro with a "did you mean" suggestion) and the
+// analyzers that need a compiled program skip themselves.
+func Run(file, src string, opts Options) Result {
+	res := Result{File: file}
+	collect := func(d Diagnostic) {
+		d.File = file
+		d.Line, d.Col = d.Pos.Line, d.Pos.Col
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		collect(Diagnostic{
+			Pos: parseErrPos(err), Code: "CV001", Analyzer: "parse",
+			Severity: Error, Message: "parse error: " + scrubErr(err),
+		})
+		return res
+	}
+
+	pass := &Pass{File: file, Src: src, Stmts: stmts, Snapshot: opts.Snapshot}
+	prog, cerr := compiler.CompileStmts(stmts, compiler.Options{Optimize: false, Resolver: opts.Resolver})
+	if cerr == nil {
+		pass.Prog = prog
+	}
+
+	enabled := selectAnalyzers(opts)
+	for _, a := range enabled {
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			d.Analyzer = name
+			collect(d)
+		}
+		a.Run(pass)
+	}
+
+	if cerr != nil {
+		pos := compileErrPos(cerr)
+		dup := false
+		for _, d := range res.Diagnostics {
+			if d.Severity == Error && d.Pos == pos {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			collect(Diagnostic{
+				Pos: pos, Code: "CV002", Analyzer: "compile",
+				Severity: Error, Message: "compile error: " + scrubErr(cerr),
+			})
+		}
+	}
+
+	res.Diagnostics = suppress(src, res.Diagnostics)
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Code < b.Code
+	})
+	return res
+}
+
+func selectAnalyzers(opts Options) []*Analyzer {
+	all := Analyzers()
+	if len(opts.Analyzers) > 0 {
+		want := map[string]bool{}
+		for _, n := range opts.Analyzers {
+			want[n] = true
+		}
+		var sel []*Analyzer
+		for _, a := range all {
+			if want[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		all = sel
+	}
+	if len(opts.Disable) > 0 {
+		skip := map[string]bool{}
+		for _, n := range opts.Disable {
+			skip[n] = true
+		}
+		var sel []*Analyzer
+		for _, a := range all {
+			if !skip[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		all = sel
+	}
+	return all
+}
+
+// suppress drops diagnostics whose source line carries a
+// "cvlint:disable" comment, optionally restricted to listed codes.
+func suppress(src string, ds []Diagnostic) []Diagnostic {
+	if !strings.Contains(src, "cvlint:disable") {
+		return ds
+	}
+	lines := strings.Split(src, "\n")
+	keep := ds[:0]
+	for _, d := range ds {
+		if d.Line >= 1 && d.Line <= len(lines) && suppressed(lines[d.Line-1], d.Code) {
+			continue
+		}
+		keep = append(keep, d)
+	}
+	return keep
+}
+
+func suppressed(line, code string) bool {
+	i := strings.Index(line, "cvlint:disable")
+	if i < 0 || !strings.Contains(line[:i], "//") {
+		return false
+	}
+	rest := strings.TrimSpace(line[i+len("cvlint:disable"):])
+	if rest == "" {
+		return true // bare pragma: suppress everything on the line
+	}
+	for _, c := range strings.Split(rest, ",") {
+		if strings.TrimSpace(c) == code {
+			return true
+		}
+	}
+	return false
+}
+
+// parseErrPos pulls the position out of a parser or lexer error; it
+// falls back to scanning the rendered "cpl:line:col:" prefix so any
+// error in that format still anchors.
+func parseErrPos(err error) token.Pos {
+	switch e := err.(type) {
+	case *parser.Error:
+		return e.Pos
+	case *lexer.Error:
+		return e.Pos
+	}
+	var pos token.Pos
+	fmt.Sscanf(err.Error(), "cpl:%d:%d:", &pos.Line, &pos.Col)
+	return pos
+}
+
+func compileErrPos(err error) token.Pos {
+	if ce, ok := err.(*compiler.Error); ok {
+		return ce.Pos
+	}
+	return parseErrPos(err)
+}
+
+// scrubErr strips the "cpl:line:col:" prefix a compiler or parser error
+// renders, since the diagnostic re-anchors the same position itself.
+func scrubErr(err error) string {
+	msg := err.Error()
+	if rest, ok := strings.CutPrefix(msg, "cpl:"); ok {
+		// Drop a leading "12:34: " position if present.
+		var l, c int
+		if n, _ := fmt.Sscanf(rest, "%d:%d:", &l, &c); n == 2 {
+			if i := strings.Index(rest, ": "); i >= 0 {
+				return rest[i+2:]
+			}
+		}
+		return strings.TrimSpace(rest)
+	}
+	return msg
+}
+
+// MarshalResults renders lint results in the stable JSON wire format.
+func MarshalResults(results []Result) ([]byte, error) {
+	type wire struct {
+		SchemaVersion int      `json:"schema_version"`
+		Results       []Result `json:"results"`
+		Errors        int      `json:"errors"`
+		Warnings      int      `json:"warnings"`
+		Infos         int      `json:"infos"`
+	}
+	w := wire{SchemaVersion: SchemaVersion, Results: results}
+	for _, r := range results {
+		e, wn, in := r.Counts()
+		w.Errors += e
+		w.Warnings += wn
+		w.Infos += in
+	}
+	return json.MarshalIndent(w, "", "  ")
+}

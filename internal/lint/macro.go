@@ -1,0 +1,145 @@
+package lint
+
+// The macro-hygiene analyzer tracks let-macro definitions and uses
+// across the file: macros that are never referenced, macro names that
+// shadow built-in predicate or type keywords, and references to
+// undefined macros with a "did you mean" suggestion when a defined name
+// is within small edit distance.
+//
+// Codes:
+//
+//	CV401 let macro is never used
+//	CV402 let macro shadows a built-in predicate or type name
+//	CV404 reference to an undefined macro (with suggestion)
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"confvalley/internal/cpl/ast"
+	"confvalley/internal/predicate"
+	"confvalley/internal/vtype"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name:  "macro",
+		Doc:   "unused, shadowing, and undefined let macros",
+		Codes: []string{"CV401", "CV402", "CV404"},
+		Run:   runMacro,
+	})
+}
+
+func runMacro(p *Pass) {
+	defs := map[string]*ast.LetStmt{}
+	used := map[string]bool{}
+	var undefined []*ast.MacroRef
+
+	for _, st := range p.Stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.LetStmt:
+				if _, dup := defs[t.Name]; !dup {
+					defs[t.Name] = t
+				}
+				if shadowsBuiltin(t.Name) {
+					p.Reportf(t.Pos(), "CV402", Warning,
+						"macro @%s shadows the built-in %q; pick a distinct name", t.Name, strings.ToLower(t.Name))
+				}
+			case *ast.MacroRef:
+				used[t.Name] = true
+				if _, ok := defs[t.Name]; !ok {
+					undefined = append(undefined, t)
+				}
+			}
+			return true
+		})
+	}
+
+	// A reference before the definition is an ordering problem the
+	// compiler reports; only names with no definition anywhere in the
+	// file get the richer CV404 with a suggestion.
+	names := make([]string, 0, len(defs))
+	for n := range defs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, ref := range undefined {
+		if _, definedLater := defs[ref.Name]; definedLater {
+			continue
+		}
+		sugg := ""
+		if best := closestName(ref.Name, names); best != "" {
+			sugg = fmt.Sprintf("did you mean @%s?", best)
+		}
+		p.Suggest(ref.Pos(), "CV404", Error, sugg,
+			"reference to undefined macro @%s", ref.Name)
+	}
+
+	for name, def := range defs {
+		if !used[name] {
+			p.Suggest(def.Pos(), "CV401", Warning,
+				"delete the definition, or reference it from a specification",
+				"macro @%s is defined but never used", name)
+		}
+	}
+}
+
+// shadowsBuiltin reports whether a macro name collides (case-folded)
+// with a primitive predicate, a registered extension predicate, or a
+// value-type keyword — all of which read confusingly in @Name position.
+func shadowsBuiltin(name string) bool {
+	lower := strings.ToLower(name)
+	switch lower {
+	case "nonempty", "unique", "consistent", "ordered", "exists", "reachable", "match":
+		return true
+	}
+	if _, ok := vtype.KindFromName(lower); ok {
+		return true
+	}
+	for _, reg := range predicate.Names() {
+		if lower == strings.ToLower(reg) {
+			return true
+		}
+	}
+	return false
+}
+
+// closestName returns the candidate within edit distance <= 2 closest
+// to name, or "" when none qualifies. Ties go to the lexically first
+// candidate (names is sorted).
+func closestName(name string, names []string) string {
+	best, bestDist := "", 3
+	for _, cand := range names {
+		if d := editDistance(name, cand); d < bestDist {
+			best, bestDist = cand, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance over bytes; macro names are
+// ASCII identifiers.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -30,9 +30,12 @@ package plan
 //     time — makes the spec Dynamic.
 
 import (
+	"fmt"
+
 	"confvalley/internal/compiler"
 	"confvalley/internal/config"
 	"confvalley/internal/cpl/ast"
+	"confvalley/internal/cpl/token"
 )
 
 // Footprint is the static read set of one specification.
@@ -45,6 +48,9 @@ type Footprint struct {
 	// references, condition-bound variables) or unanalyzable; it must
 	// re-run on every incremental round.
 	Dynamic bool
+	// Reason says why the spec is Dynamic (the first cause the walk
+	// hit), for diagnostics. Empty when !Dynamic.
+	Reason string
 }
 
 // Footprint returns the spec node's static read set, extracted during
@@ -63,6 +69,14 @@ type fpBuilder struct {
 	seen  map[string]bool
 	fp    Footprint
 	depth int
+}
+
+// ExtractFootprint computes the footprint of one compiled specification
+// without lowering it. Static-analysis passes use it to reason about a
+// spec's read set (and why it could not be bounded) outside the
+// incremental engine.
+func ExtractFootprint(prog *compiler.Program, spec *compiler.Spec) Footprint {
+	return extractFootprint(prog, spec)
 }
 
 // extractFootprint computes the footprint of one compiled specification.
@@ -120,12 +134,21 @@ func (b *fpBuilder) collectComps() {
 	}
 }
 
+// dynamic marks the footprint Dynamic, keeping the first reason hit by
+// the walk as the diagnostic explanation.
+func (b *fpBuilder) dynamic(reason string) {
+	if !b.fp.Dynamic {
+		b.fp.Reason = reason
+	}
+	b.fp.Dynamic = true
+}
+
 // addRef records a configuration reference under every candidate prefix
 // the executor could try. References with variables are data-dependent:
 // the spec becomes Dynamic.
 func (b *fpBuilder) addRef(pat config.Pattern) {
 	if pat.HasVars() {
-		b.fp.Dynamic = true
+		b.dynamic(fmt.Sprintf("reference %s contains variables resolved from data", pat))
 		return
 	}
 	add := func(p config.Pattern) {
@@ -170,7 +193,7 @@ func (b *fpBuilder) walkDomain(d ast.Domain) {
 	case *ast.CompartmentDomain:
 		b.walkDomain(t.Inner)
 	default:
-		b.fp.Dynamic = true
+		b.dynamic(fmt.Sprintf("unanalyzable domain construct %T", d))
 	}
 }
 
@@ -180,7 +203,7 @@ func (b *fpBuilder) walkExpr(x ast.Expr) {
 	case *ast.DomainExpr:
 		b.walkDomain(t.D)
 	default:
-		b.fp.Dynamic = true
+		b.dynamic(fmt.Sprintf("unanalyzable expression %T", x))
 	}
 }
 
@@ -206,7 +229,7 @@ func (b *fpBuilder) walkPred(p ast.Pred) {
 	case *ast.MacroRef:
 		m, ok := b.prog.Macros[t.Name]
 		if !ok || b.depth >= macroDepthLimit {
-			b.fp.Dynamic = true
+			b.dynamic(fmt.Sprintf("macro @%s cannot be expanded statically", t.Name))
 			return
 		}
 		b.depth++
@@ -228,6 +251,82 @@ func (b *fpBuilder) walkPred(p ast.Pred) {
 			b.walkExpr(a)
 		}
 	default:
-		b.fp.Dynamic = true
+		b.dynamic(fmt.Sprintf("unanalyzable predicate construct %T", p))
 	}
+}
+
+// ---- Per-reference sites ----
+
+// RefSite is one configuration reference in a specification, with the
+// full candidate set the executor's resolution order could try for it.
+// Unlike the flat Footprint, sites keep their source positions, so
+// static analyses (corpus drift, dead references) can report findings
+// at the offending reference rather than at the spec.
+type RefSite struct {
+	Pos        token.Pos
+	Pattern    config.Pattern   // the reference as written
+	Candidates []config.Pattern // every prefix-expanded form, resolution order
+	HasVars    bool             // data-dependent; Candidates omitted
+}
+
+// RefSites walks one compiled specification and returns every
+// configuration reference it can read, in source order. Macro bodies
+// are expanded (bounded by the same depth limit as the footprint walk);
+// unanalyzable constructs are simply skipped — RefSites is a
+// best-effort view for diagnostics, not a soundness contract.
+func RefSites(prog *compiler.Program, spec *compiler.Spec) []RefSite {
+	b := &fpBuilder{prog: prog, spec: spec, seen: make(map[string]bool)}
+	b.collectComps()
+	var sites []RefSite
+	add := func(r *ast.Ref) {
+		site := RefSite{Pos: r.Pos(), Pattern: r.Pattern, HasVars: r.Pattern.HasVars()}
+		if !site.HasVars {
+			seen := make(map[string]bool)
+			cand := func(p config.Pattern) {
+				if ps := p.String(); !seen[ps] {
+					seen[ps] = true
+					site.Candidates = append(site.Candidates, p)
+				}
+			}
+			for _, comp := range b.comps {
+				for _, ns := range spec.Namespaces {
+					cand(r.Pattern.Prefixed(ns).Prefixed(comp))
+				}
+				cand(r.Pattern.Prefixed(comp))
+			}
+			for _, ns := range spec.Namespaces {
+				cand(r.Pattern.Prefixed(ns))
+			}
+			cand(r.Pattern)
+		}
+		sites = append(sites, site)
+	}
+	var depth int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.Ref:
+			add(t)
+		case *ast.MacroRef:
+			if m, ok := prog.Macros[t.Name]; ok && depth < macroDepthLimit {
+				depth++
+				ast.Inspect(m, walk)
+				depth--
+			}
+		}
+		return true
+	}
+	for _, cond := range spec.Conds {
+		ast.Inspect(cond.Spec.Domain, walk)
+		if cond.Spec.Pred != nil {
+			ast.Inspect(cond.Spec.Pred, walk)
+		}
+	}
+	for _, dom := range spec.Domains {
+		ast.Inspect(dom, walk)
+	}
+	if spec.Pred != nil {
+		ast.Inspect(spec.Pred, walk)
+	}
+	return sites
 }

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -130,4 +131,55 @@ $Worker.Limit -> @SaneLimit
 `
 	fp := footprintOf(t, src, 0)
 	requirePatterns(t, fp, "Worker.Limit", "Defaults.Min", "Defaults.Max")
+}
+
+// Dynamic footprints carry a human-readable reason naming the construct
+// that defeated the static analysis.
+func TestFootprintDynamicReason(t *testing.T) {
+	fp := footprintOf(t, "$Fabric::$CloudName.TenantName -> nonempty", 0)
+	if !fp.Dynamic {
+		t.Fatal("variable ref footprint not dynamic")
+	}
+	if !strings.Contains(fp.Reason, "contains variables") {
+		t.Errorf("Reason = %q, want mention of variables", fp.Reason)
+	}
+	if fp := footprintOf(t, "$App.Timeout -> int", 0); fp.Reason != "" {
+		t.Errorf("static footprint Reason = %q, want empty", fp.Reason)
+	}
+}
+
+// RefSites reports every reference with its source position and the
+// prefix-expanded candidate set, in source order.
+func TestRefSites(t *testing.T) {
+	src := `namespace ns {
+  $k1 -> nonempty
+  $Fabric::$CloudName.TenantName -> ip
+}`
+	prog := mustCompile(t, src)
+	sites := RefSites(prog, prog.Specs[0])
+	if len(sites) != 1 {
+		t.Fatalf("spec 0: %d sites, want 1", len(sites))
+	}
+	s := sites[0]
+	if s.Pos.Line != 2 {
+		t.Errorf("site pos = %s, want line 2", s.Pos)
+	}
+	if s.Pattern.String() != "k1" || s.HasVars {
+		t.Errorf("site = %+v", s)
+	}
+	want := map[string]bool{"ns.k1": false, "k1": false}
+	for _, c := range s.Candidates {
+		if _, ok := want[c.String()]; ok {
+			want[c.String()] = true
+		}
+	}
+	for w, ok := range want {
+		if !ok {
+			t.Errorf("candidate %q missing from %v", w, s.Candidates)
+		}
+	}
+	vs := RefSites(prog, prog.Specs[1])
+	if len(vs) != 1 || !vs[0].HasVars || vs[0].Candidates != nil {
+		t.Errorf("variable ref sites = %+v, want one HasVars site without candidates", vs)
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"confvalley/internal/compiler"
 	"confvalley/internal/config"
+	"confvalley/internal/cpl/ast"
 	"confvalley/internal/report"
 	"confvalley/internal/simenv"
 )
@@ -68,10 +69,18 @@ func TestPlanCache(t *testing.T) {
 }
 
 // Lowering never fails; evaluation-time errors fire only when the
-// offending closure actually runs, matching the interpreter.
+// offending closure actually runs, matching the interpreter. The
+// compiler now rejects bad regexes up front (see TestBadRegexRejected
+// in internal/compiler), so a program carrying one can only be built
+// by hand — lowering must still degrade gracefully for that case.
 func TestLazyErrors(t *testing.T) {
+	badMatch := func(src string) *compiler.Program {
+		prog := mustCompile(t, src)
+		prog.Specs[0].Pred.(*ast.Match).Pattern = "/[/"
+		return prog
+	}
 	// Bad regex over a populated domain: the spec errors.
-	prog := mustCompile(t, "$App.Timeout -> match('/[/')")
+	prog := badMatch("$App.Timeout -> match('/x/')")
 	defer Forget(prog)
 	rep := runPlan(For(prog), testStore())
 	if len(rep.SpecErrors) != 1 || !strings.Contains(rep.SpecErrors[0], "bad regular expression") {
@@ -79,7 +88,7 @@ func TestLazyErrors(t *testing.T) {
 	}
 	// The same bad regex over an empty domain never evaluates, so the
 	// spec passes vacuously — exactly like the interpreter.
-	empty := mustCompile(t, "$App.Missing -> match('/[/')")
+	empty := badMatch("$App.Missing -> match('/x/')")
 	defer Forget(empty)
 	rep = runPlan(For(empty), testStore())
 	if len(rep.SpecErrors) != 0 {

@@ -14,12 +14,14 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"confvalley"
 	"confvalley/internal/ingest"
+	"confvalley/internal/lint"
 )
 
 // Options configures a Runner; the fields mirror cvcheck's flags and
@@ -59,6 +61,12 @@ type Options struct {
 	// Env answers dynamic predicate queries; nil keeps the session's
 	// default simulated environment.
 	Env confvalley.Env
+	// Lint runs the static-analysis passes (internal/lint) over the
+	// specification source before validating, with the job's loaded
+	// store as the drift snapshot. Diagnostics land on Result; a spec
+	// with error-severity findings is rejected with a SpecError
+	// wrapping a *LintError — the same contract as a compile failure.
+	Lint bool
 }
 
 // Payload is one in-memory configuration source — the shape a service
@@ -129,6 +137,10 @@ type Result struct {
 	// SnapshotCached reports that the payload parse was served from the
 	// snapshot cache.
 	SnapshotCached bool
+	// Diagnostics are the lint findings for the job's specification
+	// source; populated only under Options.Lint for jobs that carry
+	// spec source (not a pre-compiled program).
+	Diagnostics []lint.Diagnostic
 }
 
 // SourcesTotal counts every configuration source the run examined.
@@ -184,6 +196,25 @@ type SpecError struct{ Err error }
 
 func (e *SpecError) Error() string { return e.Err.Error() }
 func (e *SpecError) Unwrap() error { return e.Err }
+
+// LintError rejects a specification whose lint run produced
+// error-severity diagnostics; it carries the full diagnostic list so
+// front ends can render every finding, not just the first.
+type LintError struct{ Diagnostics []lint.Diagnostic }
+
+func (e *LintError) Error() string {
+	errs := 0
+	first := ""
+	for _, d := range e.Diagnostics {
+		if d.Severity == lint.Error {
+			errs++
+			if first == "" {
+				first = d.String()
+			}
+		}
+	}
+	return fmt.Sprintf("specification failed lint with %d error(s); first: %s", errs, first)
+}
 
 // Runner is a persistent validation pipeline: one session, one
 // graceful-degradation loader, and one compiled-program cache, reused
@@ -266,8 +297,9 @@ func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
 	// appends to the store mid-run, so its store is not a pure function
 	// of the payload bytes).
 	prog := job.Prog
+	src, haveSrc := "", false
 	if prog == nil {
-		src := job.SpecSrc
+		src = job.SpecSrc
 		if job.SpecPath != "" {
 			b, err := os.ReadFile(job.SpecPath)
 			if err != nil {
@@ -275,6 +307,7 @@ func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
 			}
 			src = string(b)
 		}
+		haveSrc = true
 		var err error
 		if prog, err = r.Compile(src); err != nil {
 			return nil, err
@@ -316,6 +349,14 @@ func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
 
 	r.session.SwapStore(st)
 	res := &Result{Data: dataRep, Program: prog, SnapshotHash: hash, SnapshotCached: cached}
+	if r.opts.Lint && haveSrc {
+		res.Diagnostics = r.lintSpec(job, src, st)
+		for _, d := range res.Diagnostics {
+			if d.Severity == lint.Error {
+				return nil, &SpecError{Err: &LintError{Diagnostics: res.Diagnostics}}
+			}
+		}
+	}
 	var specLoads *confvalley.LoadReport
 	var err error
 	if r.opts.Incremental {
@@ -332,6 +373,24 @@ func (r *Runner) Run(ctx context.Context, job Job) (*Result, error) {
 		res.SpecLoads = specLoads
 	}
 	return res, nil
+}
+
+// lintSpec runs the analyzers over the job's specification source with
+// the freshly loaded store as the drift snapshot.
+func (r *Runner) lintSpec(job Job, src string, st *confvalley.Store) []lint.Diagnostic {
+	name := job.SpecPath
+	if name == "" {
+		name = "<spec>"
+	}
+	opts := lint.Options{Snapshot: st}
+	if r.opts.SpecDir != "" {
+		dir := r.opts.SpecDir
+		opts.Resolver = func(path string) (string, error) {
+			b, err := os.ReadFile(filepath.Join(dir, path))
+			return string(b), err
+		}
+	}
+	return lint.Run(name, src, opts).Diagnostics
 }
 
 // HashPayloads returns the content address of a payload set, or "" for

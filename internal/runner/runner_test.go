@@ -188,3 +188,70 @@ func TestConcurrentRunsIsolated(t *testing.T) {
 		}
 	}
 }
+
+// Options.Lint attaches advisory diagnostics to the result and rejects
+// specs with error-severity findings via SpecError wrapping LintError.
+func TestRunLint(t *testing.T) {
+	r := New(Options{Lint: true})
+	payload := Payload{Name: "app.kv", Format: "kv", Data: []byte("app.timeout = 30\n")}
+
+	// Clean spec, live reference: no diagnostics.
+	res, err := r.Run(context.Background(), Job{
+		SpecSrc:  "$app.timeout -> int & [1, 60]",
+		Payloads: []Payload{payload},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("clean spec: diagnostics = %v", res.Diagnostics)
+	}
+
+	// Warning-severity finding (drift against the loaded payload):
+	// attached, validation still runs.
+	res, err = r.Run(context.Background(), Job{
+		SpecSrc:  "$app.timeot -> int",
+		Payloads: []Payload{payload},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 1 || res.Diagnostics[0].Code != "CV601" {
+		t.Errorf("drift spec: diagnostics = %v", res.Diagnostics)
+	}
+	if res.Report == nil {
+		t.Error("warning-severity lint blocked validation")
+	}
+
+	// Error-severity finding: rejected as a SpecError wrapping LintError.
+	_, err = r.Run(context.Background(), Job{
+		SpecSrc:  "$app.timeout -> [10, 5]",
+		Payloads: []Payload{payload},
+	})
+	var se *SpecError
+	var le *LintError
+	if !errors.As(err, &se) || !errors.As(err, &le) {
+		t.Fatalf("err = %v (%T), want SpecError wrapping LintError", err, err)
+	}
+	if len(le.Diagnostics) == 0 || le.Diagnostics[0].Code != "CV101" {
+		t.Errorf("LintError diagnostics = %v", le.Diagnostics)
+	}
+	if !strings.Contains(le.Error(), "1 error(s)") {
+		t.Errorf("LintError message = %q", le.Error())
+	}
+}
+
+// Without Options.Lint, nothing is linted — pre-existing behavior.
+func TestRunNoLintByDefault(t *testing.T) {
+	r := New(Options{})
+	res, err := r.Run(context.Background(), Job{
+		SpecSrc:  "$app.timeot -> int",
+		Payloads: []Payload{{Name: "app.kv", Format: "kv", Data: []byte("app.timeout = 30\n")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("diagnostics without Lint option: %v", res.Diagnostics)
+	}
+}

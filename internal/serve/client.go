@@ -80,6 +80,10 @@ func (c *Client) do(ctx context.Context, method, url string, body io.Reader, out
 			msg = eb.Error
 		}
 		switch resp.StatusCode {
+		case http.StatusUnprocessableEntity:
+			// A strict registration the server refused on lint errors;
+			// the body carried the positioned diagnostics.
+			return &LintRejectedError{Diagnostics: eb.Diagnostics}
 		case http.StatusNotFound:
 			return fmt.Errorf("%w: %s", ErrNotFound, msg)
 		case http.StatusTooManyRequests:
@@ -102,8 +106,20 @@ func (c *Client) do(ctx context.Context, method, url string, body io.Reader, out
 
 // Register uploads CPL source under the given spec name.
 func (c *Client) Register(ctx context.Context, spec, src string) (SpecInfo, error) {
+	return c.RegisterWith(ctx, spec, src, RegisterOptions{})
+}
+
+// RegisterWith is Register with per-registration options. With
+// opts.Strict, error-severity lint findings make the server refuse the
+// spec; the returned error is then a *LintRejectedError carrying the
+// diagnostics. Advisory findings come back in SpecInfo.Lint either way.
+func (c *Client) RegisterWith(ctx context.Context, spec, src string, opts RegisterOptions) (SpecInfo, error) {
+	url := c.url("v1", "tenants", c.Tenant, "specs", spec)
+	if opts.Strict {
+		url += "?strict=1"
+	}
 	var info SpecInfo
-	err := c.do(ctx, http.MethodPut, c.url("v1", "tenants", c.Tenant, "specs", spec), strings.NewReader(src), &info)
+	err := c.do(ctx, http.MethodPut, url, strings.NewReader(src), &info)
 	return info, err
 }
 

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+
+	"confvalley/internal/lint"
 )
 
 // Handler builds the HTTP/JSON transport over the service core. The
@@ -13,7 +16,8 @@ import (
 //
 //	GET    /healthz                                     liveness + version
 //	GET    /statsz                                      service counters
-//	PUT    /v1/tenants/{tenant}/specs/{spec}            register CPL (body = source)
+//	PUT    /v1/tenants/{tenant}/specs/{spec}            register CPL (body = source; ?strict=1
+//	                                                    refuses error-severity lint findings)
 //	GET    /v1/tenants/{tenant}/specs                   list registered specs
 //	DELETE /v1/tenants/{tenant}/specs/{spec}            delete one spec
 //	POST   /v1/tenants/{tenant}/specs/{spec}/validate   validate payloads/sources
@@ -21,8 +25,10 @@ import (
 //
 // Errors are JSON objects {"error": "..."} with the mapped status:
 // 400 bad input or CPL compile failure, 403 count quota exceeded,
-// 404 unknown tenant/spec, 413 byte-size quota, 429 admission overflow
-// (all validation slots and the wait queue are full — retry later).
+// 404 unknown tenant/spec, 413 byte-size quota, 422 strict registration
+// refused on lint errors (the body carries the positioned diagnostics),
+// 429 admission overflow (all validation slots and the wait queue are
+// full — retry later).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -37,7 +43,9 @@ func (s *Server) Handler() http.Handler {
 			writeError(w, ErrTooLarge)
 			return
 		}
-		info, err := s.RegisterSpec(r.PathValue("tenant"), r.PathValue("spec"), string(src))
+		// ?strict=1 refuses specs with error-severity lint findings.
+		strict, _ := strconv.ParseBool(r.URL.Query().Get("strict"))
+		info, err := s.RegisterSpecWith(r.PathValue("tenant"), r.PathValue("spec"), string(src), RegisterOptions{Strict: strict})
 		if err != nil {
 			writeError(w, err)
 			return
@@ -89,6 +97,9 @@ func (s *Server) Handler() http.Handler {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Diagnostics carries the positioned lint findings of a strict
+	// registration refused with 422.
+	Diagnostics []lint.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 func errBody(msg string) errorBody { return errorBody{Error: msg} }
@@ -97,7 +108,14 @@ func errBody(msg string) errorBody { return errorBody{Error: msg} }
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var badSpec *BadSpecError
+	var lintRejected *LintRejectedError
 	switch {
+	case errors.As(err, &lintRejected):
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{
+			Error:       err.Error(),
+			Diagnostics: lintRejected.Diagnostics,
+		})
+		return
 	case errors.As(err, &badSpec):
 		status = http.StatusBadRequest
 	case errors.Is(err, ErrBadName), errors.Is(err, ErrBadRequest):

@@ -29,6 +29,7 @@ import (
 
 	"confvalley"
 	"confvalley/internal/ingest"
+	"confvalley/internal/lint"
 	"confvalley/internal/report"
 	"confvalley/internal/runner"
 )
@@ -58,6 +59,27 @@ type BadSpecError struct{ Err error }
 
 func (e *BadSpecError) Error() string { return e.Err.Error() }
 func (e *BadSpecError) Unwrap() error { return e.Err }
+
+// LintRejectedError reports a strict registration refused because the
+// static-analysis pass found error-severity diagnostics. The transport
+// maps it to 422 Unprocessable Entity — the spec parses and may even
+// compile, but the service was asked not to accept it — with the full
+// diagnostic list in the body so the client can render positions.
+type LintRejectedError struct{ Diagnostics []lint.Diagnostic }
+
+func (e *LintRejectedError) Error() string {
+	n := 0
+	var first string
+	for _, d := range e.Diagnostics {
+		if d.Severity == lint.Error {
+			if n == 0 {
+				first = d.String()
+			}
+			n++
+		}
+	}
+	return fmt.Sprintf("serve: spec failed lint with %d error(s); first: %s", n, first)
+}
 
 // Quotas bounds what one tenant may hold and one request may carry.
 // Zero values mean "use the default", not "unlimited": a service with
@@ -160,6 +182,7 @@ type Server struct {
 	rejectedBusy    atomic.Int64
 	canceledWaiting atomic.Int64 // requests canceled by the client while queued
 	denied          atomic.Int64 // quota / size / name rejections
+	lintRejected    atomic.Int64 // strict registrations refused on lint errors
 }
 
 // New returns a server with cfg's gaps filled by defaults.
@@ -260,6 +283,14 @@ func (s *Server) tenantFor(name string, create bool) (*tenant, error) {
 	return t, nil
 }
 
+// RegisterOptions modulates one registration.
+type RegisterOptions struct {
+	// Strict rejects the spec with a LintRejectedError when the lint
+	// pass reports any error-severity diagnostic, instead of storing it
+	// and returning the diagnostics as advisory.
+	Strict bool
+}
+
 // RegisterSpec compiles and stores a CPL program under (tenant, name),
 // creating the tenant on first use. Re-registering a name replaces its
 // program. The compiled program is retained, so validate requests skip
@@ -267,6 +298,19 @@ func (s *Server) tenantFor(name string, create bool) (*tenant, error) {
 // stable across requests, which keeps the plan cache and incremental
 // splice state hot.
 func (s *Server) RegisterSpec(tenantName, specName, src string) (SpecInfo, error) {
+	return s.RegisterSpecWith(tenantName, specName, src, RegisterOptions{})
+}
+
+// RegisterSpecWith is RegisterSpec with per-registration options. Every
+// registration runs the static-analysis pass (internal/lint) over the
+// source — without a snapshot; the service lints the program, not the
+// data — and returns the diagnostics in SpecInfo.Lint. With
+// opts.Strict, an error-severity diagnostic rejects the registration
+// outright (the previous program under the name, if any, stays
+// registered). A spec that fails to compile is rejected with
+// BadSpecError either way; strict mode merely reports it as a
+// positioned lint diagnostic too.
+func (s *Server) RegisterSpecWith(tenantName, specName, src string, opts RegisterOptions) (SpecInfo, error) {
 	if int64(len(src)) > s.cfg.Quotas.MaxSpecBytes {
 		s.denied.Add(1)
 		return SpecInfo{}, fmt.Errorf("%w: spec %d bytes > limit %d", ErrTooLarge, len(src), s.cfg.Quotas.MaxSpecBytes)
@@ -279,7 +323,16 @@ func (s *Server) RegisterSpec(tenantName, specName, src string) (SpecInfo, error
 		s.denied.Add(1)
 		return SpecInfo{}, fmt.Errorf("%w: spec %q", ErrBadName, specName)
 	}
-	info, err := t.register(specName, src, s.cfg.Quotas.MaxSpecs)
+	lres := lint.Run(specName, src, lint.Options{})
+	le, lw, li := lres.Counts()
+	t.lintErrors.Add(int64(le))
+	t.lintWarnings.Add(int64(lw))
+	t.lintInfos.Add(int64(li))
+	if opts.Strict && le > 0 {
+		s.lintRejected.Add(1)
+		return SpecInfo{}, &LintRejectedError{Diagnostics: lres.Diagnostics}
+	}
+	info, err := t.register(specName, src, s.cfg.Quotas.MaxSpecs, lres.Diagnostics)
 	if err != nil {
 		if errors.Is(err, ErrQuota) {
 			s.denied.Add(1)
@@ -583,13 +636,14 @@ func (s *Server) Stats() StatsInfo {
 		RejectedBusy:    s.rejectedBusy.Load(),
 		CanceledWaiting: s.canceledWaiting.Load(),
 		QuotaDenied:     s.denied.Load(),
+		LintRejected:    s.lintRejected.Load(),
 		InFlight:        len(s.sem),
 		Queued:          int(s.queued.Load()),
 		PlanCacheHits:   hits,
 		PlanCacheMisses: misses,
 	}
 	for _, t := range s.tenantsSorted() {
-		ts := TenantStats{Name: t.name, Specs: len(t.list())}
+		ts := TenantStats{Name: t.name, Specs: len(t.list()), Lint: t.lintCounters()}
 		st := t.runner.Session().Store()
 		ts.DiscoveryQueries = st.Stats.Queries()
 		ts.DiscoveryCacheHits = st.Stats.CacheHits()
@@ -605,9 +659,25 @@ func (s *Server) Stats() StatsInfo {
 		info.SnapshotCacheHits += ts.Caches.SnapshotCache.Hits
 		info.IncrementalRuns += ts.Caches.IncrementalRuns
 		info.SpecsReused += ts.Caches.SpecsReused
+		info.Lint.Findings += ts.Lint.Findings
+		info.Lint.Errors += ts.Lint.Errors
+		info.Lint.Warnings += ts.Lint.Warnings
+		info.Lint.Infos += ts.Lint.Infos
 		info.Tenants = append(info.Tenants, ts)
 	}
 	return info
+}
+
+// lintCounters snapshots one tenant's registration-time lint totals,
+// loading the components first so the identity holds in every snapshot.
+func (t *tenant) lintCounters() LintCounters {
+	c := LintCounters{
+		Errors:   t.lintErrors.Load(),
+		Warnings: t.lintWarnings.Load(),
+		Infos:    t.lintInfos.Load(),
+	}
+	c.Findings = c.Errors + c.Warnings + c.Infos
+	return c
 }
 
 // HealthInfo is the health endpoint's body.
@@ -643,15 +713,16 @@ type TenantCaches struct {
 
 // StatsInfo is the stats endpoint's body.
 type StatsInfo struct {
-	Validations     int64         `json:"validations"`
-	Violations      int64         `json:"violations"`
-	RejectedBusy    int64         `json:"rejected_busy"`
-	CanceledWaiting int64         `json:"canceled_waiting"`
-	QuotaDenied     int64         `json:"quota_denied"`
-	InFlight        int           `json:"in_flight"`
-	Queued          int           `json:"queued"`
-	PlanCacheHits   uint64        `json:"plan_cache_hits"`
-	PlanCacheMisses uint64        `json:"plan_cache_misses"`
+	Validations     int64  `json:"validations"`
+	Violations      int64  `json:"violations"`
+	RejectedBusy    int64  `json:"rejected_busy"`
+	CanceledWaiting int64  `json:"canceled_waiting"`
+	QuotaDenied     int64  `json:"quota_denied"`
+	LintRejected    int64  `json:"lint_rejected"`
+	InFlight        int    `json:"in_flight"`
+	Queued          int    `json:"queued"`
+	PlanCacheHits   uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses uint64 `json:"plan_cache_misses"`
 
 	// Cross-tenant cache totals. Validations counts runs that actually
 	// executed; a result-cache hit or coalesced request never increments
@@ -663,7 +734,21 @@ type StatsInfo struct {
 	IncrementalRuns   int64 `json:"incremental_runs"`
 	SpecsReused       int64 `json:"specs_reused"`
 
+	// Lint totals the registration-time lint diagnostics across tenants.
+	Lint LintCounters `json:"lint"`
+
 	Tenants []TenantStats `json:"tenants,omitempty"`
+}
+
+// LintCounters counts lint diagnostics observed at spec registration.
+// Findings is always Errors + Warnings + Infos — same counter-identity
+// style as the admission counters (hits + coalesced + validations
+// accounts for every admitted request).
+type LintCounters struct {
+	Findings int64 `json:"findings"`
+	Errors   int64 `json:"errors"`
+	Warnings int64 `json:"warnings"`
+	Infos    int64 `json:"infos"`
 }
 
 // TenantStats is one tenant's counter block.
@@ -676,6 +761,9 @@ type TenantStats struct {
 	SourcesLoaded      int    `json:"sources_loaded"`
 	SourcesStale       int    `json:"sources_stale"`
 	SourcesQuarantined int    `json:"sources_quarantined"`
+	// Lint counts the diagnostics this tenant's registrations drew,
+	// including strict-rejected ones.
+	Lint LintCounters `json:"lint"`
 	// Caches mirrors the health endpoint's per-tenant cache block so
 	// either endpoint tells the full reuse story.
 	Caches TenantCaches `json:"caches"`
@@ -733,4 +821,8 @@ type SpecInfo struct {
 	// HasReport reports whether the spec has been validated at least
 	// once (a last report is available).
 	HasReport bool `json:"has_report"`
+	// Lint carries the static-analysis diagnostics drawn at
+	// registration — structured, positioned, advisory (an error-severity
+	// entry only blocks registration under RegisterOptions.Strict).
+	Lint []lint.Diagnostic `json:"lint,omitempty"`
 }

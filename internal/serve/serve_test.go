@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"confvalley/internal/lint"
 	"confvalley/internal/runner"
 )
 
@@ -264,5 +265,107 @@ func TestTenantRunnerUsesConfiguredOptions(t *testing.T) {
 	}
 	if got := tn.runner.Session().MaxStale; got != 2 {
 		t.Errorf("tenant session MaxStale = %d, want 2", got)
+	}
+}
+
+// Registration runs the lint pass: advisory findings ride along in
+// SpecInfo.Lint, strict mode turns error-severity findings into a 422
+// that round-trips through the client as a *LintRejectedError, and
+// either way the per-tenant counters account for what was observed.
+func TestRegisterLint(t *testing.T) {
+	srv, c := testClient(t, Config{})
+	ctx := context.Background()
+
+	// Clean spec: no diagnostics attached.
+	info, err := c.Register(ctx, "clean", timeoutSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Lint) != 0 {
+		t.Errorf("clean spec carried diagnostics: %v", info.Lint)
+	}
+
+	// Warning-only spec (unused macro): registered, diagnostics attached.
+	info, err = c.Register(ctx, "warn", "let Unused := int\n$app.timeout -> int\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Lint) != 1 || info.Lint[0].Code != "CV401" {
+		t.Fatalf("advisory diagnostics = %v", info.Lint)
+	}
+	if info.Lint[0].Line != 1 || info.Lint[0].Severity != lint.Warning {
+		t.Errorf("diagnostic lost structure over the wire: %+v", info.Lint[0])
+	}
+
+	// Error-severity spec without strict: still registered, advisory.
+	contradiction := "$app.timeout -> [10, 5]\n"
+	if info, err = c.Register(ctx, "bad", contradiction); err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Lint) == 0 || info.Lint[0].Code != "CV101" {
+		t.Errorf("non-strict error diagnostics = %v", info.Lint)
+	}
+
+	// Same spec with strict: refused with the diagnostics, not stored.
+	_, err = c.RegisterWith(ctx, "bad2", contradiction, RegisterOptions{Strict: true})
+	var lre *LintRejectedError
+	if !errors.As(err, &lre) {
+		t.Fatalf("strict register err = %v (%T), want LintRejectedError", err, err)
+	}
+	if len(lre.Diagnostics) == 0 || lre.Diagnostics[0].Code != "CV101" {
+		t.Errorf("rejected diagnostics = %v", lre.Diagnostics)
+	}
+	if !strings.Contains(lre.Error(), "failed lint") {
+		t.Errorf("LintRejectedError message = %q", lre.Error())
+	}
+	if _, err := c.ListSpecs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	infos, _ := c.ListSpecs(ctx)
+	for _, si := range infos {
+		if si.Name == "bad2" {
+			t.Error("strict-rejected spec was stored")
+		}
+	}
+
+	// Counters: 4 lint runs observed 2 errors (bad, bad2) and 1 warning;
+	// the identity findings = errors + warnings + infos holds per tenant
+	// and in the global rollup, and the strict refusal is counted.
+	st := srv.Stats()
+	if st.LintRejected != 1 {
+		t.Errorf("LintRejected = %d, want 1", st.LintRejected)
+	}
+	if len(st.Tenants) != 1 {
+		t.Fatalf("tenants = %d", len(st.Tenants))
+	}
+	lc := st.Tenants[0].Lint
+	if lc.Errors != 2 || lc.Warnings != 1 || lc.Infos != 0 {
+		t.Errorf("tenant lint counters = %+v", lc)
+	}
+	if lc.Findings != lc.Errors+lc.Warnings+lc.Infos {
+		t.Errorf("counter identity broken: %+v", lc)
+	}
+	if st.Lint != lc {
+		t.Errorf("global rollup %+v != tenant %+v", st.Lint, lc)
+	}
+}
+
+// Strict mode also refuses uncompilable specs — as a positioned CV002
+// lint diagnostic rather than the non-strict 400.
+func TestRegisterStrictCompileError(t *testing.T) {
+	_, c := testClient(t, Config{})
+	_, err := c.RegisterWith(context.Background(), "broken", "policy on_violation 'shrug'\n$a.b -> int\n", RegisterOptions{Strict: true})
+	var lre *LintRejectedError
+	if !errors.As(err, &lre) {
+		t.Fatalf("err = %v (%T)", err, err)
+	}
+	found := false
+	for _, d := range lre.Diagnostics {
+		if d.Code == "CV002" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no CV002 in %v", lre.Diagnostics)
 	}
 }

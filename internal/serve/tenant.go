@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"confvalley"
+	"confvalley/internal/lint"
 	"confvalley/internal/runner"
 )
 
@@ -27,15 +28,22 @@ type tenant struct {
 	incrementalRuns atomic.Int64
 	specsReused     atomic.Int64
 
+	// Registration-time lint accounting, by severity; strict-rejected
+	// registrations count too (the diagnostics were observed either way).
+	lintErrors   atomic.Int64
+	lintWarnings atomic.Int64
+	lintInfos    atomic.Int64
+
 	mu    sync.RWMutex
 	specs map[string]*specEntry
 }
 
 // specEntry is one registered spec program plus its last validation.
 type specEntry struct {
-	name string
-	src  string
-	prog *confvalley.Program
+	name  string
+	src   string
+	prog  *confvalley.Program
+	diags []lint.Diagnostic
 	// id is a process-unique registration nonce. Result-cache keys
 	// embed it, so re-registering a name strictly invalidates: entries
 	// and in-flight validations for the old program keep the old nonce
@@ -69,7 +77,7 @@ func newTenant(name string, opts runner.Options, resultCacheSize int) *tenant {
 // cache keyed to the old registration: the fresh entry carries a new
 // nonce and empty incremental state, and the old cached responses are
 // purged.
-func (t *tenant) register(name, src string, maxSpecs int) (SpecInfo, error) {
+func (t *tenant) register(name, src string, maxSpecs int, diags []lint.Diagnostic) (SpecInfo, error) {
 	prog, err := t.runner.Session().Compile(src)
 	if err != nil {
 		return SpecInfo{}, &BadSpecError{Err: err}
@@ -79,7 +87,7 @@ func (t *tenant) register(name, src string, maxSpecs int) (SpecInfo, error) {
 	if _, exists := t.specs[name]; !exists && len(t.specs) >= maxSpecs {
 		return SpecInfo{}, fmt.Errorf("%w: tenant %q spec limit %d reached", ErrQuota, t.name, maxSpecs)
 	}
-	entry := &specEntry{name: name, src: src, prog: prog, id: specIDs.Add(1)}
+	entry := &specEntry{name: name, src: src, prog: prog, diags: diags, id: specIDs.Add(1)}
 	t.specs[name] = entry
 	t.results.purge(name + keySep)
 	return entry.info(), nil
@@ -136,5 +144,6 @@ func (e *specEntry) info() SpecInfo {
 		Bytes:     len(e.src),
 		Specs:     len(e.prog.Specs),
 		HasReport: e.lastResp.Load() != nil,
+		Lint:      e.diags,
 	}
 }
