@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build lint tier1 test bench plan-bench stress store-bench incremental-bench fault-bench load-bench servecache-bench fuzz-smoke bench-smoke e2e
+.PHONY: all build lint tier1 test bench plan-bench stress store-bench incremental-bench fault-bench load-bench servecache-bench fuzz-smoke bench-smoke e2e crash-chaos
 
 all: build
 
@@ -54,7 +54,17 @@ stress:
 # register→validate→report, and assert exit codes plus report identity
 # with the CLI path. Mirrors the CI "Service e2e" job.
 e2e:
-	$(GO) test -run TestE2E -v ./cmd/cvserve/
+	$(GO) test -run 'TestE2E$$' -v ./cmd/cvserve/
+
+# Durability gate: the journal/recovery crash-injection suites (torn
+# tails, mid-commit crashes, randomized op streams across four crash
+# modes) under the race detector, then a process-level kill -9 /
+# restart e2e that holds three successive cvserve lives to byte
+# identity on the same -state-dir. Mirrors the CI "Crash chaos" job.
+crash-chaos:
+	$(GO) test -race -count=1 ./internal/durable/
+	$(GO) test -race -count=1 -run 'TestRecover|TestCrashMid|TestReadyz|TestConcurrentRegisterDrain' ./internal/serve/
+	$(GO) test -count=1 -run 'TestE2ECrashRecovery|TestE2EInMemory' -v ./cmd/cvserve/
 
 # Regenerate the numbers recorded in BENCH_store.json.
 store-bench:

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	cvcall [-server http://127.0.0.1:7077] [-tenant NAME] [-json] [-strict]
-//	       [-timeout 30s] [-version] <command> [args]
+//	       [-timeout 30s] [-retries N] [-version] <command> [args]
 //
 // Commands:
 //
@@ -18,7 +18,15 @@
 //	validate <spec> [format:path[:scope]]...    validate local files
 //	report <spec>                               fetch the last report
 //	health                                      server liveness + version
+//	ready                                       server readiness (exit 0 ready,
+//	                                            1 recovering/draining)
 //	stats                                       server counters
+//
+// -retries N retries transient failures (connection errors while the
+// server restarts, 429 admission overflow, 503 recovering/draining) up
+// to N extra times with capped jittered exponential backoff, honoring
+// the server's Retry-After header when present. Every cvcall operation
+// is safe to retry; the default is 0 (fail fast).
 //
 // validate reads each format:path[:scope] argument locally (the same
 // syntax as cvcheck -data) and ships the bytes as request payloads, so
@@ -60,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		asJSON  = fs.Bool("json", false, "emit raw JSON responses instead of rendered text")
 		strict  = fs.Bool("strict", false, "with register: refuse the spec if lint finds error-severity diagnostics")
 		timeout = fs.Duration("timeout", 30*time.Second, "bound each request; 0 = no bound")
+		retries = fs.Int("retries", 0, "retry transient failures (connection errors, 429, 503) up to N extra times")
 		version = fs.Bool("version", false, "print the ConfValley version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "cvcall: a command is required (register, list, delete, validate, report, health, stats)")
+		fmt.Fprintln(stderr, "cvcall: a command is required (register, list, delete, validate, report, health, ready, stats)")
 		fs.Usage()
 		return 2
 	}
@@ -83,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	c := &serve.Client{Base: *server, Tenant: *tenant, Timeout: clientTimeout}
+	c := &serve.Client{Base: *server, Tenant: *tenant, Timeout: clientTimeout, Retries: *retries}
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 
 	fail := func(err error) int {
@@ -208,6 +217,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "cvcall: %s — version %s, schema v%d, up %ds, %d tenant(s), %d in flight, %d queued\n",
 			h.Status, h.Version, h.SchemaVersion, h.UptimeSeconds, h.Tenants, h.InFlight, h.Queued)
+		return 0
+
+	case "ready":
+		info, err := c.Ready(ctx)
+		if err != nil && !errors.Is(err, serve.ErrNotReady) {
+			return fail(err)
+		}
+		if *asJSON {
+			emit(info)
+		} else {
+			fmt.Fprintf(stdout, "cvcall: %s\n", info.State)
+		}
+		if !info.Ready {
+			return 1
+		}
 		return 0
 
 	case "stats":

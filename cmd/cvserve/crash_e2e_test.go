@@ -1,0 +1,239 @@
+package main
+
+// TestE2ECrashRecovery is the process-level durability gate: boot
+// cvserve with -state-dir, register specs and validate through cvcall,
+// SIGKILL the server mid-life (no drain, no journal close — the worst
+// crash shape), restart it on the same state directory, and hold the
+// recovered server to byte-identity with the dead one — same spec
+// listing, same validation report modulo timing. CI runs it inside the
+// crash-chaos job (`make crash-chaos`).
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// serverProc is one cvserve process plus its resolved base URL.
+type serverProc struct {
+	cmd  *exec.Cmd
+	base string
+	errb *bytes.Buffer
+}
+
+// startServer boots cvserve with the given extra flags on an
+// OS-assigned port and waits for the listen banner.
+func startServer(t *testing.T, bin string, extra ...string) *serverProc {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errb := &bytes.Buffer{}
+	cmd.Stderr = errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(out)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("cvserve produced no output; stderr: %s", errb.String())
+	}
+	banner := sc.Text()
+	const prefix = "cvserve: listening on "
+	if !strings.HasPrefix(banner, prefix) {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("unexpected banner %q", banner)
+	}
+	go func() { // drain the ready line and anything after
+		for sc.Scan() {
+		}
+	}()
+	return &serverProc{cmd: cmd, base: strings.TrimPrefix(banner, prefix), errb: errb}
+}
+
+// kill -9: no drain, no deferred closes, the journal handle just dies.
+func (p *serverProc) sigkill(t *testing.T) {
+	t.Helper()
+	p.cmd.Process.Signal(syscall.SIGKILL)
+	p.cmd.Wait()
+}
+
+func (p *serverProc) sigterm(t *testing.T) {
+	t.Helper()
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill()
+		t.Error("cvserve did not shut down on SIGTERM")
+	}
+}
+
+// waitReady polls the server through `cvcall ready` until it reports
+// ready (exit 0) or the deadline passes.
+func waitReady(t *testing.T, cvcall, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		// -retries rides out the connection-refused window while the
+		// socket comes up; the loop rides out "recovering".
+		if _, _, code := runCmd(t, cvcall, "-server", base, "-retries", "3", "ready"); code == 0 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never became ready", base)
+}
+
+func TestE2ECrashRecovery(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+
+	dir := t.TempDir()
+	build := exec.Command("go", "build", "-o", dir, "./cmd/cvserve", "./cmd/cvcall")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building binaries: %v\n%s", err, out)
+	}
+	cvserve := filepath.Join(dir, "cvserve")
+	cvcall := filepath.Join(dir, "cvcall")
+	stateDir := filepath.Join(dir, "state")
+
+	specFile := filepath.Join(dir, "checks.cpl")
+	dataFile := filepath.Join(dir, "app.kv")
+	if err := os.WriteFile(specFile, []byte(e2eSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dataFile, []byte(e2eData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- life 1: populate state, then die hard ----
+	p1 := startServer(t, cvserve, "-state-dir", stateDir)
+	waitReady(t, cvcall, p1.base)
+	call1 := func(args ...string) (string, string, int) {
+		return runCmd(t, cvcall, append([]string{"-server", p1.base, "-tenant", "e2e", "-retries", "2"}, args...)...)
+	}
+	for i, spec := range []string{"checks", "checks2", "doomed"} {
+		if out, errOut, code := call1("register", spec, specFile); code != 0 {
+			t.Fatalf("register %d exited %d\nstdout: %s\nstderr: %s", i, code, out, errOut)
+		}
+	}
+	if out, _, code := call1("delete", "doomed"); code != 0 {
+		t.Fatalf("delete exited %d: %s", code, out)
+	}
+	// The identity baselines. List before validating so has_report is
+	// false on both sides of the crash (last reports are deliberately
+	// process-local, not journaled).
+	listBefore, _, code := call1("-json", "list")
+	if code != 0 {
+		t.Fatalf("list exited %d", code)
+	}
+	valBefore, _, valCode := call1("-json", "validate", "checks", "kv:"+dataFile)
+	if valCode != 1 {
+		t.Fatalf("validate exited %d, want 1 (violations)", valCode)
+	}
+	p1.sigkill(t)
+
+	// ---- life 2: recover from the same directory ----
+	p2 := startServer(t, cvserve, "-state-dir", stateDir)
+	defer func() {
+		p2.sigterm(t)
+		t.Logf("cvserve stderr: %s", p2.errb.String())
+	}()
+	waitReady(t, cvcall, p2.base)
+	call2 := func(args ...string) (string, string, int) {
+		return runCmd(t, cvcall, append([]string{"-server", p2.base, "-tenant", "e2e", "-retries", "2"}, args...)...)
+	}
+
+	listAfter, _, code := call2("-json", "list")
+	if code != 0 {
+		t.Fatalf("post-recovery list exited %d", code)
+	}
+	if listAfter != listBefore {
+		t.Errorf("recovered spec listing diverged:\n before: %s\n after:  %s", listBefore, listAfter)
+	}
+	valAfter, _, valCode := call2("-json", "validate", "checks", "kv:"+dataFile)
+	if valCode != 1 {
+		t.Fatalf("post-recovery validate exited %d, want 1", valCode)
+	}
+	if got, want := zeroTiming(t, []byte(valAfter)), zeroTiming(t, []byte(valBefore)); !bytes.Equal(got, want) {
+		t.Errorf("recovered validation report diverged:\n before: %s\n after:  %s", want, got)
+	}
+	// The deleted spec must stay deleted across the crash.
+	if _, _, code := call2("report", "doomed"); code != 2 {
+		t.Errorf("deleted spec resurrected: report exited %d, want 2", code)
+	}
+	// The recovered server keeps journaling: a spec registered in life
+	// 2 survives a second crash.
+	if out, errOut, code := call2("register", "reborn", specFile); code != 0 {
+		t.Fatalf("post-recovery register exited %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	// The durability counters are wired through /statsz.
+	if out, _, code := call2("-json", "stats"); code != 0 || !strings.Contains(out, `"journal_records"`) {
+		t.Fatalf("stats exited %d without durability block: %q", code, out)
+	}
+	p2.sigkill(t)
+
+	// ---- life 3: both lives' writes are present ----
+	p3 := startServer(t, cvserve, "-state-dir", stateDir)
+	defer func() {
+		p3.sigterm(t)
+		t.Logf("cvserve stderr: %s", p3.errb.String())
+	}()
+	waitReady(t, cvcall, p3.base)
+	out, _, code := runCmd(t, cvcall, "-server", p3.base, "-tenant", "e2e", "list")
+	if code != 0 {
+		t.Fatalf("third-life list exited %d", code)
+	}
+	for _, spec := range []string{"checks", "checks2", "reborn"} {
+		if !strings.Contains(out, spec) {
+			t.Errorf("third life lost %q; list:\n%s", spec, out)
+		}
+	}
+	if strings.Contains(out, "doomed") {
+		t.Errorf("third life resurrected a deleted spec; list:\n%s", out)
+	}
+}
+
+// TestE2EInMemoryStillWorks pins the default: without -state-dir the
+// server is ready immediately and journals nothing.
+func TestE2EInMemoryStillWorks(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	dir := t.TempDir()
+	build := exec.Command("go", "build", "-o", dir, "./cmd/cvserve", "./cmd/cvcall")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building binaries: %v\n%s", err, out)
+	}
+	p := startServer(t, filepath.Join(dir, "cvserve"))
+	defer p.sigterm(t)
+	cvcall := filepath.Join(dir, "cvcall")
+	waitReady(t, cvcall, p.base)
+	if out, _, code := runCmd(t, cvcall, "-server", p.base, "ready"); code != 0 || !strings.Contains(out, "ready") {
+		t.Fatalf("in-memory ready exited %d: %q", code, out)
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if e.Name() == "ops.wal" || e.Name() == "state.snap" {
+				t.Errorf("in-memory server wrote %s", e.Name())
+			}
+		}
+	}
+}

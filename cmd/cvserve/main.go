@@ -6,6 +6,7 @@
 // Usage:
 //
 //	cvserve [-addr 127.0.0.1:7077] [-parallel N]
+//	        [-state-dir DIR] [-compact-every N]
 //	        [-max-stale N] [-load-timeout 5s]
 //	        [-max-concurrent N] [-max-queue N] [-queue-wait 10s]
 //	        [-snapshot-cache N] [-result-cache N] [-no-incremental]
@@ -15,6 +16,9 @@
 // Endpoints (all JSON; see internal/serve for the wire types):
 //
 //	GET    /healthz                                         liveness + version
+//	GET    /readyz                                          readiness (503 until
+//	                                                        recovery completes,
+//	                                                        and while draining)
 //	GET    /statsz                                          service counters
 //	PUT    /v1/tenants/{tenant}/specs/{spec}                register CPL (body = source)
 //	GET    /v1/tenants/{tenant}/specs                       list specs
@@ -36,8 +40,16 @@
 // with -result-cache -1, -snapshot-cache -1, and -no-incremental;
 // /healthz and /statsz expose per-tenant hit/miss/reuse counters.
 //
-// cvserve exits 0 on clean shutdown (SIGINT/SIGTERM), 2 on usage or
-// listen errors.
+// With -state-dir, registrations and deletions are journaled (fsync'd
+// before the 201) to the directory and replayed on startup, so a crash
+// or restart loses no registered spec; /readyz answers 503 until the
+// replay completes, so load balancers never route to a server that has
+// not rehydrated its registries. Without it, state is in-memory as
+// before. The journal folds into a snapshot every -compact-every
+// appends (negative disables compaction).
+//
+// cvserve exits 0 on clean shutdown (SIGINT/SIGTERM), 2 on usage,
+// listen, or state-recovery errors.
 package main
 
 import (
@@ -70,6 +82,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel    = fs.Int("parallel", 1, "validate each request's specifications in N parallel partitions")
 		maxStale    = fs.Int("max-stale", 0, "serve a failing source from its last good parse for at most N requests (0 = forever, negative = never)")
 		loadTimeout = fs.Duration("load-timeout", 0, "bound each validation (loading plus validation); 0 = no bound")
+
+		stateDir     = fs.String("state-dir", "", "journal registrations/deletions to this directory and recover them on startup (empty = in-memory only)")
+		compactEvery = fs.Int("compact-every", 0, "fold the journal into a snapshot every N appends (0 = default 1024, negative = never)")
 
 		noIncremental = fs.Bool("no-incremental", false, "run every spec on every request instead of re-running only specs affected by keys changed since the spec's last validation")
 		snapshotCache = fs.Int("snapshot-cache", 0, "per-tenant content-addressed cache of parsed payload sets (0 = default 8, negative = disable)")
@@ -113,6 +128,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SnapshotCacheSize: *snapshotCache,
 		ResultCacheSize:   *resultCache,
 		NoIncremental:     *noIncremental,
+		StateDir:          *stateDir,
+		CompactEvery:      *compactEvery,
 		Runner: runner.Options{
 			Parallel:    *parallel,
 			MaxStale:    *maxStale,
@@ -139,6 +156,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
+	// The socket is live before recovery so load balancers can watch
+	// /readyz flip; every state-changing request answers 503 until the
+	// replay below finishes. In-memory mode recovers nothing and is
+	// ready immediately.
+	if err := srv.Recover(); err != nil {
+		fmt.Fprintf(stderr, "cvserve: recovering state: %v\n", err)
+		hs.Close()
+		return 2
+	}
+	if *stateDir != "" {
+		st := srv.Stats().Durability
+		fmt.Fprintf(stdout, "cvserve: ready — recovered %d spec(s) from %d journal record(s) (%d torn-tail truncation(s))\n",
+			st.RecoveredSpecs, st.ReplayedRecords, st.TornTruncations)
+		flush(stdout)
+	}
+
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -149,12 +182,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, let in-flight validations
-	// finish, then report what the server did while it was up.
+	// Graceful shutdown: flip /readyz to draining (503) so load
+	// balancers stop routing, stop accepting, let in-flight validations
+	// finish, release the journal, then report what the server did
+	// while it was up.
+	srv.StartDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		hs.Close()
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(stderr, "cvserve: closing journal: %v\n", err)
 	}
 	st := srv.Stats()
 	fmt.Fprintf(stderr, "cvserve: shut down after %d validation(s), %d violation(s), %d busy rejection(s)\n",

@@ -1,0 +1,388 @@
+// Package durable is the crash-safe persistence layer behind cvserve's
+// tenant registries: an append-only journal of registration/deletion
+// operations plus a periodically compacted snapshot, both made of
+// length+CRC-framed records fsync'd on commit. The design goal is the
+// one the service layer states as its recovery invariant (DESIGN.md
+// §14): after any crash — kill -9 mid-append, torn write at the tail,
+// power loss between a snapshot rename and the journal truncation —
+// reopening the state directory restores exactly the operations that
+// were acknowledged, and never refuses to start. A torn or corrupt
+// tail frame marks the end of history: recovery truncates the file at
+// the first bad frame and carries on, because an unacknowledged
+// half-written record is not data loss, but a validation service that
+// won't boot is an outage.
+//
+// The package knows nothing about the service: records carry opaque
+// (op, tenant, spec, src) strings and the serve layer owns replay
+// semantics. Like internal/faultinject, the crash-injection hooks are
+// plain function fields so chaos tests can tear a frame or panic
+// mid-commit deterministically; production code never sets them.
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Op is a journaled operation kind.
+type Op string
+
+const (
+	// OpRegister records one accepted spec registration (src carries the
+	// full CPL source; replay recompiles it deterministically).
+	OpRegister Op = "register"
+	// OpDelete records one accepted spec deletion.
+	OpDelete Op = "delete"
+)
+
+// Record is one journaled state transition. Records are framed as
+// [uint32 LE payload length][uint32 LE CRC-32 (IEEE) of payload]
+// [payload = JSON-encoded Record]; the CRC covers only the payload, so
+// a torn header, torn payload, or bit flip all fail the same check.
+type Record struct {
+	Op     Op     `json:"op"`
+	Tenant string `json:"tenant"`
+	Spec   string `json:"spec"`
+	Src    string `json:"src,omitempty"`
+}
+
+// File names inside the state directory. The snapshot holds the
+// compacted register-only state as of its write; the journal holds
+// every operation since. Recovery replays snapshot then journal, and
+// replay is idempotent (re-registering is a replace, deleting a
+// missing spec is a no-op), which is what makes the
+// rename-then-truncate compaction crash window safe.
+const (
+	SnapshotFile = "state.snap"
+	JournalFile  = "ops.wal"
+	tmpFile      = "state.snap.tmp"
+)
+
+// maxFrame bounds one record's payload; a length field beyond it is
+// treated as a torn/corrupt frame rather than an allocation request.
+// It comfortably exceeds the service's spec-size quota ceiling.
+const maxFrame = 64 << 20
+
+// frameHeader is the fixed frame prefix size: length + CRC.
+const frameHeader = 8
+
+// Hooks are test-only crash-injection points, in the spirit of
+// internal/faultinject. MangleFrame rewrites the framed bytes about to
+// hit the journal (faultinject.Torn models a write the crash cut
+// short); AfterWrite runs after the bytes are written but before the
+// fsync (faultinject.PanicOnNth models the process dying inside the
+// commit). Both default to nil; set them before handing the Log to
+// concurrent users.
+type Hooks struct {
+	MangleFrame func(frame []byte) []byte
+	AfterWrite  func()
+}
+
+// RecoveryStats describes what Open found and repaired.
+type RecoveryStats struct {
+	// SnapshotRecords and JournalRecords count the frames recovered from
+	// each file, in replay order.
+	SnapshotRecords int
+	JournalRecords  int
+	// TornTruncations counts files whose tail was cut at a bad frame
+	// (0..2); TruncatedBytes totals the bytes dropped doing it.
+	TornTruncations int
+	TruncatedBytes  int64
+}
+
+// Log is an open state directory: the journal file held for appends
+// plus the counters the service's /statsz durability block reports.
+// All methods are safe for concurrent use; appends serialize on one
+// mutex because the frames of two registrations must never interleave.
+type Log struct {
+	dir   string
+	Hooks Hooks
+
+	mu          sync.Mutex
+	journal     *os.File
+	appends     int64
+	bytes       int64
+	compactions int64
+	closed      bool
+}
+
+// Stats is the Log's cumulative runtime accounting (since Open).
+type Stats struct {
+	Appends     int64
+	Bytes       int64
+	Compactions int64
+}
+
+// ErrClosed reports an operation on a closed Log.
+var ErrClosed = errors.New("durable: log closed")
+
+// Open opens (creating if needed) the state directory, recovers the
+// record history — snapshot first, then journal, each tolerating a
+// torn tail by truncating at the first bad frame — and returns the
+// log ready for appends plus the recovered records in replay order.
+// A stale snapshot temp file from a crashed compaction is removed.
+// Open fails only on real I/O errors (unusable directory, permission
+// denied); corruption is repaired, not fatal.
+func Open(dir string) (*Log, []Record, RecoveryStats, error) {
+	var st RecoveryStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, st, fmt.Errorf("durable: state dir: %w", err)
+	}
+	// A temp snapshot was never renamed into place: the compaction that
+	// wrote it died before committing, so it is not part of history.
+	if err := os.Remove(filepath.Join(dir, tmpFile)); err != nil && !os.IsNotExist(err) {
+		return nil, nil, st, fmt.Errorf("durable: clearing stale snapshot temp: %w", err)
+	}
+
+	var recs []Record
+	snap, n, err := recoverFile(filepath.Join(dir, SnapshotFile), &st)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	st.SnapshotRecords = n
+	recs = append(recs, snap...)
+
+	jpath := filepath.Join(dir, JournalFile)
+	ops, n, err := recoverFile(jpath, &st)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	st.JournalRecords = n
+	recs = append(recs, ops...)
+
+	// Reopen the journal for appending; recovery already truncated any
+	// torn tail, so O_APPEND continues exactly after the last good frame.
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, st, fmt.Errorf("durable: opening journal: %w", err)
+	}
+	return &Log{dir: dir, journal: f}, recs, st, nil
+}
+
+// recoverFile reads every intact frame of path, truncating the file at
+// the first bad one. A missing file recovers zero records.
+func recoverFile(path string, st *RecoveryStats) ([]Record, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: opening %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	recs, good, rerr := readFrames(f)
+	if rerr != nil {
+		return nil, 0, fmt.Errorf("durable: reading %s: %w", filepath.Base(path), rerr)
+	}
+	if good < size {
+		if err := f.Truncate(good); err != nil {
+			return nil, 0, fmt.Errorf("durable: truncating torn tail of %s: %w", filepath.Base(path), err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, 0, err
+		}
+		st.TornTruncations++
+		st.TruncatedBytes += size - good
+	}
+	return recs, len(recs), nil
+}
+
+// readFrames decodes frames until EOF or the first bad one, returning
+// the records and the byte offset of the end of the last good frame.
+// Only real I/O failures surface as errors; every corruption shape —
+// short header, absurd length, short payload, CRC mismatch, undecodable
+// JSON — just ends the history at the previous frame.
+func readFrames(r io.Reader) ([]Record, int64, error) {
+	var (
+		recs []Record
+		good int64
+		hdr  [frameHeader]byte
+	)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return recs, good, nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				return recs, good, nil // torn header
+			}
+			return recs, good, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxFrame {
+			return recs, good, nil // corrupt length field
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, good, nil // torn payload
+			}
+			return recs, good, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, good, nil // bit rot or interleaved torn write
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, good, nil // CRC-valid but undecodable: treat as corrupt
+		}
+		recs = append(recs, rec)
+		good += int64(frameHeader + len(payload))
+	}
+}
+
+// frame encodes one record into its wire frame.
+func frame(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	return buf, nil
+}
+
+// Append commits one record: frame, write, fsync. It returns only
+// after the record is durable, so a caller that has seen Append return
+// may acknowledge the operation to its client. On error the journal's
+// tail may hold a torn frame; the next Open truncates it, which is
+// correct because the operation was never acknowledged.
+func (l *Log) Append(rec Record) error {
+	buf, err := frame(rec)
+	if err != nil {
+		return fmt.Errorf("durable: encoding record: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.Hooks.MangleFrame != nil {
+		buf = l.Hooks.MangleFrame(buf)
+	}
+	if _, err := l.journal.Write(buf); err != nil {
+		return fmt.Errorf("durable: journal write: %w", err)
+	}
+	if l.Hooks.AfterWrite != nil {
+		l.Hooks.AfterWrite()
+	}
+	if err := l.journal.Sync(); err != nil {
+		return fmt.Errorf("durable: journal fsync: %w", err)
+	}
+	l.appends++
+	l.bytes += int64(len(buf))
+	return nil
+}
+
+// Compact replaces history with state: write the records to a temp
+// snapshot, fsync it, rename it over the snapshot file, fsync the
+// directory, then truncate the journal. Every crash window is covered
+// by replay idempotence — dying before the rename leaves the old
+// snapshot + full journal; dying after the rename but before the
+// truncation replays journal ops on top of the new snapshot, which
+// re-applies operations the snapshot already contains, harmlessly.
+func (l *Log) Compact(state []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	tmp := filepath.Join(l.dir, tmpFile)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot temp: %w", err)
+	}
+	for _, rec := range state {
+		buf, err := frame(rec)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("durable: encoding snapshot record: %w", err)
+		}
+		if _, err := f.Write(buf); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("durable: snapshot write: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, SnapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot rename: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	if err := l.journal.Truncate(0); err != nil {
+		return fmt.Errorf("durable: journal truncate: %w", err)
+	}
+	if err := l.journal.Sync(); err != nil {
+		return err
+	}
+	l.compactions++
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse directory fsync; the rename itself is
+	// still atomic there, so degrade silently rather than fail a
+	// compaction that already committed its data.
+	_ = d.Sync()
+	return nil
+}
+
+// Stats snapshots the cumulative append/compaction counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Appends: l.appends, Bytes: l.bytes, Compactions: l.compactions}
+}
+
+// Close syncs and releases the journal. Further appends fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	serr := l.journal.Sync()
+	cerr := l.journal.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,247 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"confvalley/internal/faultinject"
+)
+
+func rec(op Op, tenant, spec, src string) Record {
+	return Record{Op: op, Tenant: tenant, Spec: spec, Src: src}
+}
+
+func mustOpen(t *testing.T, dir string) (*Log, []Record, RecoveryStats) {
+	t.Helper()
+	l, recs, st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, recs, st
+}
+
+func TestRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs, _ := mustOpen(t, dir)
+	if len(recs) != 0 {
+		t.Fatalf("fresh dir recovered %d records", len(recs))
+	}
+	want := []Record{
+		rec(OpRegister, "acme", "timeout", "$app.timeout -> int"),
+		rec(OpRegister, "acme", "host", "$db.host -> nonempty"),
+		rec(OpDelete, "acme", "timeout", ""),
+		rec(OpRegister, "beta", "timeout", "$app.timeout -> int & [1, 60]"),
+	}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Appends != 4 || st.Bytes == 0 {
+		t.Errorf("stats after 4 appends = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(want[0]); err != ErrClosed {
+		t.Errorf("append after close = %v, want ErrClosed", err)
+	}
+
+	l2, got, st := mustOpen(t, dir)
+	defer l2.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered records diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if st.JournalRecords != 4 || st.SnapshotRecords != 0 || st.TornTruncations != 0 {
+		t.Errorf("recovery stats = %+v", st)
+	}
+}
+
+// TestRecoverTornTail cuts the journal mid-frame the way a crash
+// during a write does, and expects recovery to keep every record
+// before the tear, truncate the tear away, and leave the journal
+// appendable.
+func TestRecoverTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	all := []Record{
+		rec(OpRegister, "acme", "a", "$a -> int"),
+		rec(OpRegister, "acme", "b", "$b -> int"),
+		rec(OpRegister, "acme", "c", "$c -> int"),
+	}
+	for _, r := range all {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Tear the last frame: keep everything but the final 3 bytes.
+	jpath := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, st := mustOpen(t, dir)
+	if !reflect.DeepEqual(got, all[:2]) {
+		t.Errorf("recovered %+v, want first two records", got)
+	}
+	if st.TornTruncations != 1 || st.TruncatedBytes == 0 {
+		t.Errorf("recovery stats = %+v, want one torn truncation", st)
+	}
+
+	// The repaired journal accepts new appends and the history stays
+	// consistent across another cycle.
+	if err := l2.Append(all[2]); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, got, st := mustOpen(t, dir)
+	defer l3.Close()
+	if !reflect.DeepEqual(got, all) || st.TornTruncations != 0 {
+		t.Errorf("after repair+append recovered %+v (stats %+v), want all three", got, st)
+	}
+}
+
+// TestRecoverCorruptMiddleFrame: a bit flip in an interior frame ends
+// history there — later frames cannot be trusted to align.
+func TestRecoverCorruptMiddleFrame(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	for _, r := range []Record{
+		rec(OpRegister, "acme", "a", "$a -> int"),
+		rec(OpRegister, "acme", "b", "$b -> int"),
+		rec(OpRegister, "acme", "c", "$c -> int"),
+	} {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	jpath := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the second frame (frames are equal-sized
+	// here; aim comfortably inside frame 2).
+	frameLen := len(data) / 3
+	data[frameLen+frameHeader+4] ^= 0xff
+	if err := os.WriteFile(jpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, st := mustOpen(t, dir)
+	defer l2.Close()
+	if len(got) != 1 || got[0].Spec != "a" {
+		t.Errorf("recovered %+v, want only record a", got)
+	}
+	if st.TornTruncations != 1 {
+		t.Errorf("stats = %+v, want 1 truncation", st)
+	}
+}
+
+func TestCompactReplacesHistory(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := l.Append(rec(OpRegister, "acme", "s", "$a -> int")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := []Record{
+		rec(OpRegister, "acme", "s", "$a -> int"),
+		rec(OpRegister, "beta", "t", "$b -> int"),
+	}
+	if err := l.Compact(state); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Compactions != 1 {
+		t.Errorf("compactions = %d, want 1", st.Compactions)
+	}
+	// Post-compaction appends land in the now-empty journal.
+	if err := l.Append(rec(OpDelete, "beta", "t", "")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, got, st := mustOpen(t, dir)
+	defer l2.Close()
+	want := append(append([]Record{}, state...), rec(OpDelete, "beta", "t", ""))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered %+v, want %+v", got, want)
+	}
+	if st.SnapshotRecords != 2 || st.JournalRecords != 1 {
+		t.Errorf("recovery stats = %+v", st)
+	}
+}
+
+// TestStaleSnapshotTempIgnored: a compaction that died before its
+// rename leaves a temp file that must not be treated as state.
+func TestStaleSnapshotTempIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	if err := l.Append(rec(OpRegister, "acme", "a", "$a -> int")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := os.WriteFile(filepath.Join(dir, tmpFile), []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, _ := mustOpen(t, dir)
+	defer l2.Close()
+	if len(got) != 1 {
+		t.Fatalf("recovered %+v, want the journaled record only", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpFile)); !os.IsNotExist(err) {
+		t.Errorf("stale temp snapshot survived Open: %v", err)
+	}
+}
+
+// TestCrashMidAppend drives the documented crash hooks: the frame is
+// torn by faultinject.Torn and the writer dies (panic) inside the
+// commit, before the fsync. Recovery must drop exactly the
+// unacknowledged record.
+func TestCrashMidAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := mustOpen(t, dir)
+	if err := l.Append(rec(OpRegister, "acme", "a", "$a -> int")); err != nil {
+		t.Fatal(err)
+	}
+
+	calls := 0
+	l.Hooks.MangleFrame = func(frame []byte) []byte {
+		calls++
+		if calls == 1 {
+			return faultinject.Torn(frame)
+		}
+		return frame
+	}
+	l.Hooks.AfterWrite = faultinject.PanicOnNth(1, "crash mid-commit")
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("crash hook did not fire")
+			}
+		}()
+		l.Append(rec(OpRegister, "acme", "b", "$b -> int"))
+	}()
+	// The process "died": the Log is abandoned without Close, exactly
+	// like a kill -9. Reopen the directory.
+	l2, got, st := mustOpen(t, dir)
+	defer l2.Close()
+	if len(got) != 1 || got[0].Spec != "a" {
+		t.Errorf("recovered %+v, want only the acknowledged record", got)
+	}
+	if st.TornTruncations != 1 {
+		t.Errorf("stats = %+v, want the torn frame truncated", st)
+	}
+}

@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -39,6 +42,23 @@ type Client struct {
 	// DefaultTimeout, negative means no bound. Per-call contexts still
 	// apply either way and win when shorter.
 	Timeout time.Duration
+	// Retries is how many additional attempts a transient failure earns
+	// beyond the first: connection errors (a server mid-restart), 429
+	// (admission overflow) and 503 (recovering or draining). Zero
+	// disables retries. Every API operation is safe to retry — PUT,
+	// DELETE and GET are idempotent and a validate POST is a pure
+	// function of its payload — so the policy applies uniformly.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt up to RetryMaxBackoff, each with 50% uniform jitter so
+	// retrying clients spread out (defaults 100ms / 2s). A Retry-After
+	// header on a 429/503 response overrides the computed delay.
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
+	// Sleep waits between attempts, returning early with ctx.Err() on
+	// cancellation. Nil selects a timer-based default; tests inject a
+	// no-op to keep retry schedules instantaneous.
+	Sleep func(ctx context.Context, d time.Duration) error
 }
 
 func (c *Client) http() *http.Client {
@@ -60,18 +80,128 @@ func (c *Client) url(parts ...string) string {
 	return strings.TrimSuffix(c.Base, "/") + "/" + strings.Join(parts, "/")
 }
 
-// do issues one request and decodes the JSON response into out (when
+// retryJitter backs the retry backoff's jitter, shared across clients
+// the way the REST driver's jitterRNG is shared across fetches.
+var (
+	retryJitterMu  sync.Mutex
+	retryJitterRNG = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// backoffDelay computes the capped exponential delay before retry n
+// (1-based), with 50% uniform jitter — the restDriver retry shape.
+func (c *Client) backoffDelay(n int) time.Duration {
+	base, max := c.RetryBackoff, c.RetryMaxBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= max {
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	retryJitterMu.Lock()
+	f := retryJitterRNG.Float64()
+	retryJitterMu.Unlock()
+	return d + time.Duration(f*0.5*float64(d))
+}
+
+// retryAfter parses a 429/503 response's Retry-After header (seconds
+// form). ok reports whether the server supplied a usable value; the
+// retry loop then honors it over the computed backoff.
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// do issues one request — retrying transient failures per the client's
+// retry policy — and decodes the JSON response into out (when
 // non-nil), converting error statuses back into the serve package's
-// typed errors.
-func (c *Client) do(ctx context.Context, method, url string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, url, body)
-	if err != nil {
-		return err
+// typed errors. body is a byte slice, not a reader, so each retry
+// replays it from the start.
+func (c *Client) do(ctx context.Context, method, url string, body []byte, out any) error {
+	attempts := c.Retries + 1
+	if attempts < 1 {
+		attempts = 1
 	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = sleepRetry
 	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			// Connection errors are the transient class retries exist
+			// for (a server mid-restart) — unless the caller's context
+			// ended, in which case retrying just burns the deadline.
+			if ctx.Err() != nil || attempt >= attempts {
+				return err
+			}
+			lastErr = err
+			if serr := sleep(ctx, c.backoffDelay(attempt)); serr != nil {
+				return fmt.Errorf("%w (after %d attempt(s): %v)", serr, attempt, lastErr)
+			}
+			continue
+		}
+		if (resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) && attempt < attempts {
+			delay, ok := retryAfter(resp)
+			if !ok {
+				delay = c.backoffDelay(attempt)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("serve: %s", resp.Status)
+			if serr := sleep(ctx, delay); serr != nil {
+				return fmt.Errorf("%w (after %d attempt(s): %v)", serr, attempt, lastErr)
+			}
+			continue
+		}
+		return decodeResponse(resp, out)
+	}
+}
+
+// sleepRetry is the default between-attempts wait.
+func sleepRetry(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// decodeResponse maps one settled HTTP response back into the serve
+// package's typed errors, or decodes the success body into out.
+func decodeResponse(resp *http.Response, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		var eb errorBody
@@ -88,6 +218,8 @@ func (c *Client) do(ctx context.Context, method, url string, body io.Reader, out
 			return fmt.Errorf("%w: %s", ErrNotFound, msg)
 		case http.StatusTooManyRequests:
 			return fmt.Errorf("%w: %s", ErrBusy, msg)
+		case http.StatusServiceUnavailable:
+			return fmt.Errorf("%w: %s", ErrNotReady, msg)
 		case http.StatusForbidden:
 			return fmt.Errorf("%w: %s", ErrQuota, msg)
 		case http.StatusRequestEntityTooLarge:
@@ -119,7 +251,7 @@ func (c *Client) RegisterWith(ctx context.Context, spec, src string, opts Regist
 		url += "?strict=1"
 	}
 	var info SpecInfo
-	err := c.do(ctx, http.MethodPut, url, strings.NewReader(src), &info)
+	err := c.do(ctx, http.MethodPut, url, []byte(src), &info)
 	return info, err
 }
 
@@ -142,7 +274,7 @@ func (c *Client) Validate(ctx context.Context, spec string, req ValidateRequest)
 		return nil, err
 	}
 	var resp ValidateResponse
-	if err := c.do(ctx, http.MethodPost, c.url("v1", "tenants", c.Tenant, "specs", spec, "validate"), bytes.NewReader(b), &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.url("v1", "tenants", c.Tenant, "specs", spec, "validate"), b, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -155,6 +287,31 @@ func (c *Client) LastReport(ctx context.Context, spec string) (*ValidateResponse
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Ready fetches the readiness endpoint. It decodes the lifecycle info
+// from either status and reports a not-ready server as an ErrNotReady
+// error alongside it, so pollers can both branch on readiness and
+// render the phase. Ready never retries internally — a poller supplies
+// its own cadence.
+func (c *Client) Ready(ctx context.Context) (ReadyInfo, error) {
+	var info ReadyInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("readyz"), nil)
+	if err != nil {
+		return info, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if derr := json.NewDecoder(resp.Body).Decode(&info); derr != nil && resp.StatusCode == http.StatusOK {
+		return info, derr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("%w: %s", ErrNotReady, info.State)
+	}
+	return info, nil
 }
 
 // Health fetches the health endpoint.

@@ -15,6 +15,8 @@ import (
 // API is deliberately small and versioned under /v1:
 //
 //	GET    /healthz                                     liveness + version
+//	GET    /readyz                                      readiness (503 while
+//	                                                    recovering or draining)
 //	GET    /statsz                                      service counters
 //	PUT    /v1/tenants/{tenant}/specs/{spec}            register CPL (body = source; ?strict=1
 //	                                                    refuses error-severity lint findings)
@@ -28,11 +30,22 @@ import (
 // 404 unknown tenant/spec, 413 byte-size quota, 422 strict registration
 // refused on lint errors (the body carries the positioned diagnostics),
 // 429 admission overflow (all validation slots and the wait queue are
-// full — retry later).
+// full), 503 not ready (still recovering durable state, or draining
+// for shutdown). 429 and 503 carry a Retry-After header; the client's
+// retry loop honors it over its computed backoff.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Health())
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		info := s.Readiness()
+		if !info.Ready {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeJSON(w, http.StatusServiceUnavailable, info)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
 	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -40,7 +53,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /v1/tenants/{tenant}/specs/{spec}", func(w http.ResponseWriter, r *http.Request) {
 		src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.Quotas.MaxSpecBytes+1))
 		if err != nil {
-			writeError(w, ErrTooLarge)
+			writeError(w, bodyReadError(err))
 			return
 		}
 		// ?strict=1 refuses specs with error-severity lint findings.
@@ -74,7 +87,7 @@ func (s *Server) Handler() http.Handler {
 		// the raw bytes before paying for a JSON decode.
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 2*s.cfg.Quotas.MaxPayloadBytes+(1<<20)))
 		if err != nil {
-			writeError(w, fmt.Errorf("%w: reading request body: %v", ErrTooLarge, err))
+			writeError(w, bodyReadError(err))
 			return
 		}
 		resp, err := s.ValidateBody(r.Context(), r.PathValue("tenant"), r.PathValue("spec"), body)
@@ -104,6 +117,25 @@ type errorBody struct {
 
 func errBody(msg string) errorBody { return errorBody{Error: msg} }
 
+// retryAfterSeconds is the Retry-After hint on 429 (admission
+// overflow) and 503 (not ready) responses: long enough that a
+// retrying client backs off the hot path, short enough that recovery
+// or a freed validation slot is picked up promptly.
+const retryAfterSeconds = "1"
+
+// bodyReadError classifies a request-body read failure: only the
+// MaxBytesReader tripping is the client exceeding a byte-size quota
+// (413); any other failure is a transport problem with the request
+// itself (a client that died mid-upload, a Content-Length lie) and
+// maps to 400, not 413.
+func bodyReadError(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return fmt.Errorf("%w: request body exceeds %d bytes", ErrTooLarge, mbe.Limit)
+	}
+	return fmt.Errorf("%w: reading request body: %v", ErrBadRequest, err)
+}
+
 // writeError maps the service core's typed errors onto HTTP statuses.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
@@ -128,6 +160,10 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusForbidden
 	case errors.Is(err, ErrBusy):
 		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	case errors.Is(err, ErrNotReady):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
 	writeJSON(w, status, errBody(err.Error()))
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"confvalley"
+	"confvalley/internal/durable"
 	"confvalley/internal/ingest"
 	"confvalley/internal/lint"
 	"confvalley/internal/report"
@@ -51,6 +52,11 @@ var (
 	ErrBadName = errors.New("serve: bad name")
 	// ErrBadRequest: a request body that does not decode.
 	ErrBadRequest = errors.New("serve: bad request")
+	// ErrNotReady: the server cannot take state-changing or validating
+	// requests right now — it is still recovering its durable state, or
+	// it is draining for shutdown. The transport maps it to 503 with a
+	// Retry-After header; load balancers see the same signal on /readyz.
+	ErrNotReady = errors.New("serve: not ready")
 )
 
 // BadSpecError wraps a CPL compile failure: the client's spec is at
@@ -154,6 +160,15 @@ type Config struct {
 	// overlaps the keys changed since the spec's last validated
 	// snapshot.
 	NoIncremental bool
+	// StateDir, when non-empty, makes tenant registries durable: every
+	// accepted registration/deletion is journaled (fsync'd) to this
+	// directory before it is acknowledged, and Recover replays the
+	// journal on startup. Empty keeps today's purely in-memory state.
+	StateDir string
+	// CompactEvery folds the journal into a snapshot after this many
+	// appends (default 1024; negative disables compaction). Only
+	// meaningful with StateDir.
+	CompactEvery int
 	// Runner configures each tenant's validation pipeline (parallelism,
 	// staleness policy). Its SnapshotCache field is overwritten from
 	// SnapshotCacheSize.
@@ -163,10 +178,34 @@ type Config struct {
 // nameRE is the tenant/spec name alphabet: filesystem- and URL-safe.
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
 
+// Lifecycle states. An in-memory server is born ready; a durable one
+// is born recovering and flips to ready when Recover finishes. Either
+// kind moves to draining exactly once, on StartDrain, and never back:
+// readiness is monotone so a load balancer that saw 503 on /readyz
+// during drain can trust the server is going away.
+const (
+	stateRecovering int32 = iota
+	stateReady
+	stateDraining
+)
+
 // Server is the multi-tenant validation service.
 type Server struct {
 	cfg   Config
 	start time.Time
+
+	// state is the lifecycle phase (recovering/ready/draining); every
+	// state-changing or validating entry point gates on it.
+	state atomic.Int32
+
+	// commitMu serializes durable mutations (register/delete) against
+	// each other and against drain: an operation holds it across its
+	// in-memory apply and its journal append, so observers of the
+	// journal see exactly the acknowledged operations — never a
+	// half-applied one — and Close cannot take the journal away
+	// mid-commit. nil log (in-memory mode) skips it entirely.
+	commitMu sync.Mutex
+	log      *durable.Log
 
 	mu      sync.RWMutex
 	tenants map[string]*tenant
@@ -175,6 +214,13 @@ type Server struct {
 	// requests waiting for a token.
 	sem    chan struct{}
 	queued atomic.Int64
+
+	// Recovery accounting, written once by Recover before the server
+	// turns ready and read by the stats endpoint afterwards.
+	recoveredSpecs  atomic.Int64
+	replayedRecords atomic.Int64
+	tornTruncations atomic.Int64
+	replaySkipped   atomic.Int64
 
 	// Cumulative counters for the stats endpoint.
 	validations     atomic.Int64
@@ -209,13 +255,164 @@ func New(cfg Config) *Server {
 	case cfg.ResultCacheSize < 0:
 		cfg.ResultCacheSize = 0
 	}
+	switch {
+	case cfg.CompactEvery == 0:
+		cfg.CompactEvery = 1024
+	case cfg.CompactEvery < 0:
+		cfg.CompactEvery = 0
+	}
 	cfg.Runner.SnapshotCache = cfg.SnapshotCacheSize
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		start:   time.Now(),
 		tenants: make(map[string]*tenant),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 	}
+	if cfg.StateDir == "" {
+		s.state.Store(stateReady)
+	}
+	return s
+}
+
+// Recover brings a durable server to readiness: open the state
+// directory, replay its history (snapshot then journal, each tolerant
+// of a torn tail — see internal/durable), rebuild every tenant's
+// registry, and flip /readyz to 200. An in-memory server (no
+// StateDir) is ready from birth and Recover is a no-op. Recover fails
+// only on real I/O errors — an unusable state directory is fatal,
+// corruption is repaired. Until Recover returns, every state-changing
+// or validating request is refused with ErrNotReady, so a load
+// balancer never routes to a server that has not rehydrated.
+func (s *Server) Recover() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	log, recs, rst, err := durable.Open(s.cfg.StateDir)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		s.applyRecord(rec)
+	}
+	var specs int64
+	for _, t := range s.tenantsSorted() {
+		specs += int64(len(t.list()))
+	}
+	s.commitMu.Lock()
+	s.log = log
+	s.commitMu.Unlock()
+	s.recoveredSpecs.Store(specs)
+	s.replayedRecords.Store(int64(rst.SnapshotRecords + rst.JournalRecords))
+	s.tornTruncations.Store(int64(rst.TornTruncations))
+	// Recovery must not overwrite a drain that started meanwhile.
+	s.state.CompareAndSwap(stateRecovering, stateReady)
+	return nil
+}
+
+// applyRecord replays one journaled operation. Replay never refuses:
+// a record that no longer applies (compile failure after a language
+// change, a delete of a spec the snapshot already dropped) is skipped
+// and counted, because a validation service that won't boot over one
+// stale record is a worse failure than a missing spec. Quota checks
+// are skipped too — every record passed them when it was journaled.
+func (s *Server) applyRecord(rec durable.Record) {
+	switch rec.Op {
+	case durable.OpRegister:
+		t := s.tenantForReplay(rec.Tenant)
+		lres := lint.Run(rec.Spec, rec.Src, lint.Options{})
+		le, lw, li := lres.Counts()
+		t.lintErrors.Add(int64(le))
+		t.lintWarnings.Add(int64(lw))
+		t.lintInfos.Add(int64(li))
+		if _, _, err := t.register(rec.Spec, rec.Src, int(^uint(0)>>1), lres.Diagnostics); err != nil {
+			s.replaySkipped.Add(1)
+		}
+	case durable.OpDelete:
+		s.mu.RLock()
+		t := s.tenants[rec.Tenant]
+		s.mu.RUnlock()
+		if t == nil {
+			s.replaySkipped.Add(1)
+			return
+		}
+		if _, err := t.delete(rec.Spec); err != nil {
+			s.replaySkipped.Add(1)
+		}
+	default:
+		s.replaySkipped.Add(1)
+	}
+}
+
+// tenantForReplay creates or returns a tenant without quota or name
+// checks: the record already passed both when it was journaled.
+func (s *Server) tenantForReplay(name string) *tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenants[name]
+	if t == nil {
+		t = newTenant(name, s.cfg.Runner, s.cfg.ResultCacheSize)
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// checkReady gates the state-changing and validating entry points on
+// the lifecycle phase.
+func (s *Server) checkReady() error {
+	switch s.state.Load() {
+	case stateReady:
+		return nil
+	case stateDraining:
+		return fmt.Errorf("%w: draining", ErrNotReady)
+	default:
+		return fmt.Errorf("%w: recovering", ErrNotReady)
+	}
+}
+
+// StartDrain moves the server to draining: /readyz flips to 503 and
+// new state-changing or validating requests are refused with
+// ErrNotReady, while requests already admitted run to completion.
+// Call it before http.Server.Shutdown so load balancers stop routing
+// while in-flight work finishes.
+func (s *Server) StartDrain() {
+	s.state.Store(stateDraining)
+}
+
+// Close drains the server and releases the journal. It waits for any
+// in-flight durable mutation to commit (commitMu), so a registration
+// that was acknowledged is on disk before Close returns.
+func (s *Server) Close() error {
+	s.StartDrain()
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}
+
+// Readiness reports the lifecycle phase for the readiness endpoint.
+func (s *Server) Readiness() ReadyInfo {
+	info := ReadyInfo{RecoveredSpecs: s.recoveredSpecs.Load()}
+	switch s.state.Load() {
+	case stateReady:
+		info.Ready, info.State = true, "ready"
+	case stateDraining:
+		info.State = "draining"
+	default:
+		info.State = "recovering"
+	}
+	return info
+}
+
+// ReadyInfo is the readiness endpoint's body — deliberately tiny, a
+// load balancer polls it.
+type ReadyInfo struct {
+	Ready bool   `json:"ready"`
+	State string `json:"state"`
+	// RecoveredSpecs is how many registered specs startup recovery
+	// restored (durable mode only).
+	RecoveredSpecs int64 `json:"recovered_specs,omitempty"`
 }
 
 // acquire implements admission control: take a validation slot
@@ -311,6 +508,9 @@ func (s *Server) RegisterSpec(tenantName, specName, src string) (SpecInfo, error
 // BadSpecError either way; strict mode merely reports it as a
 // positioned lint diagnostic too.
 func (s *Server) RegisterSpecWith(tenantName, specName, src string, opts RegisterOptions) (SpecInfo, error) {
+	if err := s.checkReady(); err != nil {
+		return SpecInfo{}, err
+	}
 	if int64(len(src)) > s.cfg.Quotas.MaxSpecBytes {
 		s.denied.Add(1)
 		return SpecInfo{}, fmt.Errorf("%w: spec %d bytes > limit %d", ErrTooLarge, len(src), s.cfg.Quotas.MaxSpecBytes)
@@ -332,18 +532,75 @@ func (s *Server) RegisterSpecWith(tenantName, specName, src string, opts Registe
 		s.lintRejected.Add(1)
 		return SpecInfo{}, &LintRejectedError{Diagnostics: lres.Diagnostics}
 	}
-	info, err := t.register(specName, src, s.cfg.Quotas.MaxSpecs, lres.Diagnostics)
+	if s.durable() {
+		// Durable path: apply and journal under the commit lock, so the
+		// registration is journaled-or-rejected atomically — a drain or a
+		// journal failure can never leave an acknowledged registration
+		// that recovery would not restore.
+		s.commitMu.Lock()
+		defer s.commitMu.Unlock()
+		if err := s.checkReady(); err != nil {
+			// Drain won the race for the commit lock.
+			return SpecInfo{}, err
+		}
+	}
+	info, prev, err := t.register(specName, src, s.cfg.Quotas.MaxSpecs, lres.Diagnostics)
 	if err != nil {
 		if errors.Is(err, ErrQuota) {
 			s.denied.Add(1)
 		}
 		return SpecInfo{}, err
 	}
+	if s.durable() {
+		rec := durable.Record{Op: durable.OpRegister, Tenant: tenantName, Spec: specName, Src: src}
+		if jerr := s.log.Append(rec); jerr != nil {
+			// The journal did not take the operation: roll the in-memory
+			// apply back so memory and disk tell the same story, and
+			// refuse the registration.
+			t.rollback(specName, prev)
+			return SpecInfo{}, fmt.Errorf("serve: journaling registration: %w", jerr)
+		}
+		s.maybeCompactLocked()
+	}
 	return info, nil
 }
 
-// ListSpecs returns the tenant's registered specs, name-sorted.
+// durable reports whether this server journals its mutations. Only
+// valid while holding no locks that Recover takes; the log pointer is
+// written once, before the server turns ready, and mutators only
+// reach it past checkReady.
+func (s *Server) durable() bool {
+	return s.cfg.StateDir != ""
+}
+
+// maybeCompactLocked folds the journal into a snapshot once enough
+// appends accumulated. Caller holds commitMu.
+func (s *Server) maybeCompactLocked() {
+	if s.cfg.CompactEvery <= 0 {
+		return
+	}
+	st := s.log.Stats()
+	if st.Appends == 0 || st.Appends%int64(s.cfg.CompactEvery) != 0 {
+		return
+	}
+	var state []durable.Record
+	for _, t := range s.tenantsSorted() {
+		state = append(state, t.dump()...)
+	}
+	// A failed compaction is not a failed registration: the journal
+	// still holds every operation, so durability is intact and the next
+	// threshold crossing retries.
+	_ = s.log.Compact(state)
+}
+
+// ListSpecs returns the tenant's registered specs, name-sorted. Before
+// recovery completes the registries are not rehydrated yet, so the
+// call is refused with ErrNotReady rather than answering "no specs"
+// about specs that exist.
 func (s *Server) ListSpecs(tenantName string) ([]SpecInfo, error) {
+	if err := s.checkReady(); err != nil {
+		return nil, err
+	}
 	t, err := s.tenantFor(tenantName, false)
 	if err != nil {
 		return nil, err
@@ -351,13 +608,36 @@ func (s *Server) ListSpecs(tenantName string) ([]SpecInfo, error) {
 	return t.list(), nil
 }
 
-// DeleteSpec removes one registered spec.
+// DeleteSpec removes one registered spec. Like registration, a durable
+// deletion is journaled-or-rejected atomically under the commit lock.
 func (s *Server) DeleteSpec(tenantName, specName string) error {
+	if err := s.checkReady(); err != nil {
+		return err
+	}
 	t, err := s.tenantFor(tenantName, false)
 	if err != nil {
 		return err
 	}
-	return t.delete(specName)
+	if s.durable() {
+		s.commitMu.Lock()
+		defer s.commitMu.Unlock()
+		if err := s.checkReady(); err != nil {
+			return err
+		}
+	}
+	removed, err := t.delete(specName)
+	if err != nil {
+		return err
+	}
+	if s.durable() {
+		rec := durable.Record{Op: durable.OpDelete, Tenant: tenantName, Spec: specName}
+		if jerr := s.log.Append(rec); jerr != nil {
+			t.rollback(specName, removed)
+			return fmt.Errorf("serve: journaling deletion: %w", jerr)
+		}
+		s.maybeCompactLocked()
+	}
+	return nil
 }
 
 // Validate runs one registered spec against the request's payloads and
@@ -381,6 +661,9 @@ func (s *Server) DeleteSpec(tenantName, specName string) error {
 // interrupted runs — skip layers 1 and 2 entirely and are never
 // cached.
 func (s *Server) Validate(ctx context.Context, tenantName, specName string, req ValidateRequest) (*ValidateResponse, error) {
+	if err := s.checkReady(); err != nil {
+		return nil, err
+	}
 	t, err := s.tenantFor(tenantName, false)
 	if err != nil {
 		return nil, err
@@ -402,6 +685,9 @@ func (s *Server) Validate(ctx context.Context, tenantName, specName string, req 
 // the per-request quota checks; the identical bytes already passed them
 // when the entry was populated, and quotas are fixed per server.
 func (s *Server) ValidateBody(ctx context.Context, tenantName, specName string, body []byte) (*ValidateResponse, error) {
+	if err := s.checkReady(); err != nil {
+		return nil, err
+	}
 	t, err := s.tenantFor(tenantName, false)
 	if err != nil {
 		return nil, err
@@ -565,6 +851,9 @@ func (s *Server) checkRequestQuotas(req ValidateRequest) error {
 // LastReport returns the most recent ValidateResponse for one spec, or
 // ErrNotFound when it has never been validated.
 func (s *Server) LastReport(tenantName, specName string) (*ValidateResponse, error) {
+	if err := s.checkReady(); err != nil {
+		return nil, err
+	}
 	t, err := s.tenantFor(tenantName, false)
 	if err != nil {
 		return nil, err
@@ -586,6 +875,7 @@ func (s *Server) LastReport(tenantName, specName string) (*ValidateResponse, err
 func (s *Server) Health() HealthInfo {
 	info := HealthInfo{
 		Status:          "ok",
+		State:           s.Readiness().State,
 		Version:         confvalley.Version,
 		SchemaVersion:   report.SchemaVersion,
 		UptimeSeconds:   int64(time.Since(s.start).Seconds()),
@@ -641,6 +931,7 @@ func (s *Server) Stats() StatsInfo {
 		Queued:          int(s.queued.Load()),
 		PlanCacheHits:   hits,
 		PlanCacheMisses: misses,
+		Durability:      s.durabilityStats(),
 	}
 	for _, t := range s.tenantsSorted() {
 		ts := TenantStats{Name: t.name, Specs: len(t.list()), Lint: t.lintCounters()}
@@ -668,6 +959,27 @@ func (s *Server) Stats() StatsInfo {
 	return info
 }
 
+// durabilityStats assembles the stats endpoint's durability block.
+func (s *Server) durabilityStats() DurabilityStats {
+	ds := DurabilityStats{
+		Enabled:         s.durable(),
+		RecoveredSpecs:  s.recoveredSpecs.Load(),
+		ReplayedRecords: s.replayedRecords.Load(),
+		TornTruncations: s.tornTruncations.Load(),
+		ReplaySkipped:   s.replaySkipped.Load(),
+	}
+	s.commitMu.Lock()
+	log := s.log
+	s.commitMu.Unlock()
+	if log != nil {
+		lst := log.Stats()
+		ds.JournalRecords = lst.Appends
+		ds.JournalBytes = lst.Bytes
+		ds.Compactions = lst.Compactions
+	}
+	return ds
+}
+
 // lintCounters snapshots one tenant's registration-time lint totals,
 // loading the components first so the identity holds in every snapshot.
 func (t *tenant) lintCounters() LintCounters {
@@ -682,7 +994,11 @@ func (t *tenant) lintCounters() LintCounters {
 
 // HealthInfo is the health endpoint's body.
 type HealthInfo struct {
-	Status        string `json:"status"`
+	Status string `json:"status"`
+	// State is the lifecycle phase (recovering/ready/draining) — the
+	// same value /readyz keys its status code on; here it is advisory,
+	// /healthz answers 200 for as long as the process lives.
+	State         string `json:"state"`
 	Version       string `json:"version"`
 	SchemaVersion int    `json:"schema_version"`
 	UptimeSeconds int64  `json:"uptime_seconds"`
@@ -737,7 +1053,31 @@ type StatsInfo struct {
 	// Lint totals the registration-time lint diagnostics across tenants.
 	Lint LintCounters `json:"lint"`
 
+	// Durability is the journal/recovery counter block (zero-valued
+	// with Enabled false for an in-memory server).
+	Durability DurabilityStats `json:"durability"`
+
 	Tenants []TenantStats `json:"tenants,omitempty"`
+}
+
+// DurabilityStats is the stats endpoint's durability block: what the
+// journal has absorbed since this process opened it, and what startup
+// recovery found.
+type DurabilityStats struct {
+	Enabled bool `json:"enabled"`
+	// JournalRecords/JournalBytes count records fsync'd by this process;
+	// Compactions counts journal→snapshot folds it performed.
+	JournalRecords int64 `json:"journal_records"`
+	JournalBytes   int64 `json:"journal_bytes"`
+	Compactions    int64 `json:"compactions"`
+	// RecoveredSpecs is the registered specs startup recovery restored;
+	// ReplayedRecords the snapshot+journal records it replayed;
+	// TornTruncations the files whose torn tail it cut; ReplaySkipped
+	// the records replay could not apply (and ignored, by design).
+	RecoveredSpecs  int64 `json:"recovered_specs"`
+	ReplayedRecords int64 `json:"replayed_records"`
+	TornTruncations int64 `json:"torn_truncations"`
+	ReplaySkipped   int64 `json:"replay_skipped"`
 }
 
 // LintCounters counts lint diagnostics observed at spec registration.

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"confvalley"
+	"confvalley/internal/durable"
 	"confvalley/internal/lint"
 	"confvalley/internal/runner"
 )
@@ -76,21 +77,38 @@ func newTenant(name string, opts runner.Options, resultCacheSize int) *tenant {
 // previous program registered there. Replacement invalidates every
 // cache keyed to the old registration: the fresh entry carries a new
 // nonce and empty incremental state, and the old cached responses are
-// purged.
-func (t *tenant) register(name, src string, maxSpecs int, diags []lint.Diagnostic) (SpecInfo, error) {
+// purged. The replaced entry (nil on first registration) comes back so
+// a durable caller whose journal append fails can roll the apply back.
+func (t *tenant) register(name, src string, maxSpecs int, diags []lint.Diagnostic) (SpecInfo, *specEntry, error) {
 	prog, err := t.runner.Session().Compile(src)
 	if err != nil {
-		return SpecInfo{}, &BadSpecError{Err: err}
+		return SpecInfo{}, nil, &BadSpecError{Err: err}
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, exists := t.specs[name]; !exists && len(t.specs) >= maxSpecs {
-		return SpecInfo{}, fmt.Errorf("%w: tenant %q spec limit %d reached", ErrQuota, t.name, maxSpecs)
+	prev, exists := t.specs[name]
+	if !exists && len(t.specs) >= maxSpecs {
+		return SpecInfo{}, nil, fmt.Errorf("%w: tenant %q spec limit %d reached", ErrQuota, t.name, maxSpecs)
 	}
 	entry := &specEntry{name: name, src: src, prog: prog, diags: diags, id: specIDs.Add(1)}
 	t.specs[name] = entry
 	t.results.purge(name + keySep)
-	return entry.info(), nil
+	return entry.info(), prev, nil
+}
+
+// rollback undoes one apply whose journal append failed: restore the
+// replaced entry (or remove the name when there was none) and purge
+// the caches again, so nothing keyed to the rolled-back registration
+// survives.
+func (t *tenant) rollback(name string, prev *specEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if prev == nil {
+		delete(t.specs, name)
+	} else {
+		t.specs[name] = prev
+	}
+	t.results.purge(name + keySep)
 }
 
 // spec returns one registered entry.
@@ -116,16 +134,33 @@ func (t *tenant) list() []SpecInfo {
 	return out
 }
 
-// delete removes one registered spec and its cached responses.
-func (t *tenant) delete(name string) error {
+// delete removes one registered spec and its cached responses,
+// returning the removed entry for durable rollback.
+func (t *tenant) delete(name string) (*specEntry, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if _, ok := t.specs[name]; !ok {
-		return fmt.Errorf("%w: spec %q", ErrNotFound, name)
+	entry, ok := t.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: spec %q", ErrNotFound, name)
 	}
 	delete(t.specs, name)
 	t.results.purge(name + keySep)
-	return nil
+	return entry, nil
+}
+
+// dump snapshots the registry as the register records a journal
+// compaction persists, name-sorted for deterministic snapshots.
+func (t *tenant) dump() []durable.Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]durable.Record, 0, len(t.specs))
+	for _, entry := range t.specs {
+		out = append(out, durable.Record{
+			Op: durable.OpRegister, Tenant: t.name, Spec: entry.name, Src: entry.src,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec < out[j].Spec })
+	return out
 }
 
 // keySep separates result-cache key components; spec names cannot
